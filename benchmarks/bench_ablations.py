@@ -1,0 +1,130 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+All run the GEMM micro-kernel on an L2-resident packed block (k = 256, the
+paper's fixed inner dimension), isolating code-generation effects from
+cache blocking:
+
+- **vectorizer strategy**: Vdup vs Shuf (paper §3.4's two methods) vs
+  fully scalar;
+- **FMA instruction selection**: Table 1 line 3 (FMA3) vs line 2 (separate
+  Mul+Add on the same AVX hardware — SandyBridge codegen on this host);
+- **unroll factor sweep**: the empirical-tuning axis of §2.1;
+- **prefetch on/off**;
+- **instruction scheduling on/off**;
+- **per-array register queues vs one unified pool** (§3.1's
+  false-dependence argument).
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend.runner import load_kernel
+from repro.core.framework import Augem
+from repro.isa.arch import GENERIC_SSE, SANDYBRIDGE, detect_host
+from repro.transforms.pipeline import OptimizationConfig
+
+#: MC divides every default tile width (12 on FMA hosts, 8 without FMA)
+MC, NC, KC = 48, 64, 256
+FLOPS = 2.0 * MC * NC * KC
+
+_HOST = detect_host()
+
+
+def _workload(rng):
+    a = rng.standard_normal(KC * MC)
+    b = rng.standard_normal(NC * KC)
+    c = np.zeros(MC * NC)
+    return a, b, c
+
+
+def _bench_kernel(benchmark, kernel, rng, layout="dup"):
+    a, b, c = _workload(rng)
+    benchmark(kernel, MC, NC, KC, a, b, c, MC)
+    benchmark.extra_info["gflops"] = FLOPS / benchmark.stats["mean"] / 1e9
+
+
+# -- vectorizer strategy (SSE so Shuf applies) -----------------------------------
+
+@pytest.mark.parametrize("strategy,kernel_name", [
+    ("vdup", "gemm"),
+    ("shuf", "gemm_shuf"),
+    ("scalar", "gemm"),
+])
+def test_vectorizer_strategy(benchmark, rng, strategy, kernel_name):
+    aug = Augem(arch=GENERIC_SSE)
+    cfg = OptimizationConfig(unroll_jam=(("j", 2), ("i", 2)))
+    gk = aug.generate_named(kernel_name, config=cfg, strategy=strategy,
+                            name=f"abl_strat_{strategy}")
+    kernel = load_kernel(kernel_name, gk)
+    _bench_kernel(benchmark, kernel, rng)
+
+
+# -- FMA on/off (only meaningful on an FMA host) --------------------------------
+
+@pytest.mark.skipif(_HOST.fma != "fma3", reason="host lacks FMA3")
+@pytest.mark.parametrize("arch,label", [(_HOST, "fma3"),
+                                        (SANDYBRIDGE, "mul+add")])
+def test_fma_selection(benchmark, rng, arch, label):
+    aug = Augem(arch=arch)
+    gk = aug.generate_named("gemm", name=f"abl_fma_{label.replace('+', '_')}")
+    kernel = load_kernel("gemm", gk)
+    _bench_kernel(benchmark, kernel, rng)
+    benchmark.extra_info["selection"] = label
+
+
+# -- unroll sweep ---------------------------------------------------------------
+
+@pytest.mark.parametrize("nu,mu", [(2, _HOST.doubles_per_vector),
+                                   (2, 2 * _HOST.doubles_per_vector),
+                                   (4, 2 * _HOST.doubles_per_vector)])
+def test_unroll_factors(benchmark, rng, nu, mu):
+    aug = Augem(arch=_HOST)
+    cfg = OptimizationConfig(unroll_jam=(("j", nu), ("i", mu)))
+    gk = aug.generate_named("gemm", config=cfg, name=f"abl_u_{nu}_{mu}")
+    kernel = load_kernel("gemm", gk)
+    _bench_kernel(benchmark, kernel, rng)
+
+
+# -- prefetch on/off ---------------------------------------------------------------
+
+@pytest.mark.parametrize("prefetch", [None, 32], ids=["nopf", "pf32"])
+def test_prefetch(benchmark, rng, prefetch):
+    aug = Augem(arch=_HOST)
+    n = _HOST.doubles_per_vector
+    cfg = OptimizationConfig(unroll_jam=(("j", 2), ("i", 2 * n)),
+                             prefetch_distance=prefetch)
+    gk = aug.generate_named("gemm", config=cfg,
+                            name=f"abl_pf_{prefetch or 0}")
+    kernel = load_kernel("gemm", gk)
+    _bench_kernel(benchmark, kernel, rng)
+
+
+# -- scheduling on/off --------------------------------------------------------------
+
+@pytest.mark.parametrize("schedule", [True, False], ids=["sched", "nosched"])
+def test_instruction_scheduling(benchmark, rng, schedule):
+    aug = Augem(arch=_HOST, schedule=schedule)
+    gk = aug.generate_named("gemm", name=f"abl_sched_{int(schedule)}")
+    kernel = load_kernel("gemm", gk)
+    _bench_kernel(benchmark, kernel, rng)
+
+
+# -- per-array queues vs unified pool ------------------------------------------------
+
+@pytest.mark.parametrize("unified", [False, True],
+                         ids=["per-array-queues", "unified-pool"])
+def test_register_queue_strategy(benchmark, rng, unified):
+    aug = Augem(arch=_HOST, unified_regalloc=unified)
+    gk = aug.generate_named("gemm", name=f"abl_rq_{int(unified)}")
+    kernel = load_kernel("gemm", gk)
+    a, b, c = _workload(rng)
+    # correctness first: the allocation strategy must never change results
+    kernel(MC, NC, KC, a, b, c, MC)
+    ref = np.zeros(MC * NC)
+    am = a.reshape(KC, MC)
+    bm = b.reshape(NC, KC)
+    for j in range(NC):
+        for i in range(MC):
+            ref[j * MC + i] = am[:, i] @ bm[j, :]
+    assert np.allclose(c, ref)
+    _bench_kernel(benchmark, kernel, rng)

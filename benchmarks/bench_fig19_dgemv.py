@@ -1,0 +1,20 @@
+"""Paper Fig. 19: DGEMV across libraries (m = n).
+
+Paper sweep: 2048-5120.  The benchmark uses one cache-resident and one
+memory-bound size; the full sweep is ``python -m repro.bench fig19``.
+"""
+
+import numpy as np
+import pytest
+
+SIZES = [1024, 2048]
+
+
+@pytest.mark.parametrize("m", SIZES)
+def test_dgemv(benchmark, library, rng, m):
+    a = rng.standard_normal((m, m))
+    x = rng.standard_normal(m)
+    result = benchmark(library.dgemv_t, a, x)
+    assert np.allclose(result, a.T @ x)
+    benchmark.extra_info["mflops"] = 2.0 * m * m / benchmark.stats["mean"] / 1e6
+    benchmark.extra_info["library"] = library.name

@@ -1,0 +1,16 @@
+"""Paper Fig. 21: DDOT across libraries (vector sizes 1e5-2e5)."""
+
+import numpy as np
+import pytest
+
+SIZES = [100_000, 200_000]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_ddot(benchmark, library, rng, n):
+    x = rng.standard_normal(n)
+    y = rng.standard_normal(n)
+    result = benchmark(library.ddot, x, y)
+    assert np.isclose(result, x @ y)
+    benchmark.extra_info["mflops"] = 2.0 * n / benchmark.stats["mean"] / 1e6
+    benchmark.extra_info["library"] = library.name

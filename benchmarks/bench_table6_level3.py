@@ -1,0 +1,60 @@
+"""Paper Table 6: higher-level DLA routines (SYMM/SYRK/SYR2K/TRMM/TRSM/GER).
+
+One benchmark per (routine, library) at a representative size; the full
+m=n sweep with averaging is ``python -m repro.bench table6``.
+"""
+
+import numpy as np
+import pytest
+
+M = 512
+K = 256
+GER_M = 1024
+
+
+def test_symm(benchmark, library, rng):
+    a = rng.standard_normal((M, M))
+    b = rng.standard_normal((M, K))
+    benchmark(library.dsymm, a, b)
+    benchmark.extra_info["mflops"] = 2.0 * M * M * K / benchmark.stats["mean"] / 1e6
+    benchmark.extra_info["library"] = library.name
+
+
+def test_syrk(benchmark, library, rng):
+    a = rng.standard_normal((M, K))
+    benchmark(library.dsyrk, a)
+    benchmark.extra_info["mflops"] = 1.0 * M * M * K / benchmark.stats["mean"] / 1e6
+    benchmark.extra_info["library"] = library.name
+
+
+def test_syr2k(benchmark, library, rng):
+    a = rng.standard_normal((M, K))
+    b = rng.standard_normal((M, K))
+    benchmark(library.dsyr2k, a, b)
+    benchmark.extra_info["mflops"] = 2.0 * M * M * K / benchmark.stats["mean"] / 1e6
+    benchmark.extra_info["library"] = library.name
+
+
+def test_trmm(benchmark, library, rng):
+    l = np.tril(rng.standard_normal((M, M))) + 4 * np.eye(M)
+    b = rng.standard_normal((M, K))
+    benchmark(library.dtrmm, l, b)
+    benchmark.extra_info["mflops"] = 1.0 * M * M * K / benchmark.stats["mean"] / 1e6
+    benchmark.extra_info["library"] = library.name
+
+
+def test_trsm(benchmark, library, rng):
+    l = np.tril(rng.standard_normal((M, M))) + 4 * np.eye(M)
+    b = rng.standard_normal((M, K))
+    benchmark(library.dtrsm, l, b)
+    benchmark.extra_info["mflops"] = 1.0 * M * M * K / benchmark.stats["mean"] / 1e6
+    benchmark.extra_info["library"] = library.name
+
+
+def test_ger(benchmark, library, rng):
+    a = np.ascontiguousarray(rng.standard_normal((GER_M, GER_M)))
+    x = rng.standard_normal(GER_M)
+    y = rng.standard_normal(GER_M)
+    benchmark(library.dger, 1.0000001, x, y, a)
+    benchmark.extra_info["mflops"] = 2.0 * GER_M * GER_M / benchmark.stats["mean"] / 1e6
+    benchmark.extra_info["library"] = library.name

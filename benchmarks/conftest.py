@@ -1,0 +1,60 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``bench_fig*.py`` file regenerates one figure of the paper's §5 at
+benchmark-friendly sizes; ``python -m repro.bench <figure> --paper-sizes``
+runs the full-scale sweeps outside pytest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    Library,
+    make_atlas_proxy_library,
+    make_augem_library,
+    make_goto_proxy_library,
+    make_vendor_library,
+)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2013)  # SC'13
+
+
+@pytest.fixture(scope="session")
+def augem_lib() -> Library:
+    return make_augem_library()
+
+
+@pytest.fixture(scope="session")
+def vendor_lib() -> Library:
+    return make_vendor_library()
+
+
+@pytest.fixture(scope="session")
+def atlas_lib() -> Library:
+    return make_atlas_proxy_library()
+
+
+@pytest.fixture(scope="session")
+def goto_lib() -> Library:
+    return make_goto_proxy_library()
+
+
+def library_params():
+    """(fixture name, display id) for the paper's comparison lineup."""
+    return [
+        ("augem_lib", "AUGEM"),
+        ("vendor_lib", "OpenBLAS-vendor-proxy"),
+        ("atlas_lib", "ATLAS-proxy"),
+        ("goto_lib", "GotoBLAS-proxy-SSE2"),
+    ]
+
+
+@pytest.fixture(params=[p[0] for p in library_params()],
+                ids=[p[1] for p in library_params()])
+def library(request) -> Library:
+    return request.getfixturevalue(request.param)

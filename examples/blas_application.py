@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""A realistic application on top of the generated BLAS: blocked Cholesky
+factorization and a normal-equations least-squares solve.
+
+This is the workload class the paper's introduction motivates — scientific
+computing code whose runtime is dominated by Level-3 BLAS (SYRK, TRSM,
+GEMM).  Every flop below the small diagonal factorizations runs through
+AUGEM-generated assembly.
+
+Run:  python examples/blas_application.py
+"""
+
+import numpy as np
+
+from repro import AugemBLAS
+
+
+def blocked_cholesky(blas: AugemBLAS, a: np.ndarray, nb: int = 64) -> np.ndarray:
+    """Lower Cholesky factor of SPD ``a`` using SYRK/TRSM/GEMM blocks.
+
+    The classic right-looking blocked algorithm: only the tiny nb x nb
+    diagonal factorizations use numpy; all panel updates are AUGEM kernels.
+    """
+    n = a.shape[0]
+    l = np.tril(np.array(a, dtype=np.float64))
+    for k0 in range(0, n, nb):
+        kb = min(nb, n - k0)
+        # update the diagonal block: A[k,k] -= L[k,:k0] @ L[k,:k0]^T
+        if k0 > 0:
+            panel = np.ascontiguousarray(l[k0:k0 + kb, :k0])
+            upd = blas.dsyrk(panel)
+            l[k0:k0 + kb, k0:k0 + kb] -= np.tril(upd)
+        # factor the diagonal block (small, dense -> numpy)
+        l[k0:k0 + kb, k0:k0 + kb] = np.linalg.cholesky(
+            _symmetrize(l[k0:k0 + kb, k0:k0 + kb])
+        )
+        if k0 + kb < n:
+            # trailing panel: A[rest,k] -= L[rest,:k0] @ L[k,:k0]^T  (GEMM)
+            if k0 > 0:
+                rest = np.ascontiguousarray(l[k0 + kb:, :k0])
+                kpan = np.ascontiguousarray(l[k0:k0 + kb, :k0].T)
+                l[k0 + kb:, k0:k0 + kb] -= blas.dgemm(rest, kpan)
+            # solve L[rest,k] = A[rest,k] @ L[k,k]^{-T}  -> TRSM shape
+            diag = np.ascontiguousarray(l[k0:k0 + kb, k0:k0 + kb])
+            block = np.ascontiguousarray(l[k0 + kb:, k0:k0 + kb].T)
+            solved = blas.dtrsm(diag, block)
+            l[k0 + kb:, k0:k0 + kb] = solved.T
+    return np.tril(l)
+
+
+def _symmetrize(block: np.ndarray) -> np.ndarray:
+    return np.tril(block) + np.tril(block, -1).T
+
+
+def least_squares(blas: AugemBLAS, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve min ||Ax - b|| via normal equations on AUGEM kernels.
+
+    AᵀA and Aᵀb are GEMM/GEMV; the SPD solve is our blocked Cholesky plus
+    two TRSM sweeps.
+    """
+    at = np.ascontiguousarray(a.T)
+    gram = blas.dgemm(at, a)  # AᵀA
+    rhs = blas.dgemv(a, b, trans=True)  # Aᵀb
+    l = blocked_cholesky(blas, gram)
+    # forward then backward substitution via TRSM on column vectors
+    y = blas.dtrsm(l, rhs.reshape(-1, 1))
+    x = blas.dtrsm(np.ascontiguousarray(l.T[::-1, ::-1]),
+                   y[::-1]).ravel()[::-1]
+    return x
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    blas = AugemBLAS()
+
+    # --- Cholesky ---------------------------------------------------------
+    n = 384
+    g = rng.standard_normal((n, n))
+    spd = g @ g.T + n * np.eye(n)
+    l = blocked_cholesky(blas, spd)
+    err = np.abs(l @ l.T - spd).max() / np.abs(spd).max()
+    print(f"blocked Cholesky ({n}x{n}):  rel err = {err:.2e}")
+    assert err < 1e-10
+
+    # --- least squares -----------------------------------------------------
+    m, k = 600, 120
+    a = rng.standard_normal((m, k))
+    x_true = rng.standard_normal(k)
+    b = a @ x_true + 1e-8 * rng.standard_normal(m)
+    x = least_squares(blas, a, b)
+    print(f"least squares ({m}x{k}):     max |x - x*| = "
+          f"{np.abs(x - x_true).max():.2e}")
+    assert np.allclose(x, x_true, atol=1e-5)
+
+    # --- power iteration (GEMV-driven) -------------------------------------
+    mat = rng.standard_normal((512, 512))
+    u = rng.standard_normal(512)
+    u /= np.linalg.norm(u)
+    sym = mat + mat.T + 200.0 * np.outer(u, u)  # planted dominant eigenpair
+    v = rng.standard_normal(512)
+    for _ in range(100):
+        v = blas.dgemv(np.ascontiguousarray(sym.T), v, trans=True)
+        v /= np.sqrt(blas.ddot(v, v))
+    lam = blas.ddot(v, blas.dgemv(np.ascontiguousarray(sym.T), v, trans=True))
+    lam_ref = np.linalg.eigvalsh(sym).max()
+    print(f"power iteration:            lambda = {lam:.4f} "
+          f"(dense eig: {lam_ref:.4f})")
+    assert abs(lam - lam_ref) / lam_ref < 1e-6
+
+    print("\nall application results verified against numpy")
+
+
+if __name__ == "__main__":
+    main()

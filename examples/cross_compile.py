@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Cross-architecture generation: produce kernels for every modelled CPU —
+including AMD Piledriver FMA4 code this machine cannot execute — and
+validate each one under the bundled x86-64 emulator.
+
+This demonstrates the paper's portability claim: the same template
+machinery retargets Sandy Bridge (AVX), Piledriver (FMA4), Haswell (FMA3)
+and plain SSE2 with no per-architecture code.
+
+Run:  python examples/cross_compile.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import ALL_ARCHS, Augem
+from repro.emu.run import call_kernel
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("generated_kernels")
+    out_dir.mkdir(exist_ok=True)
+    rng = np.random.default_rng(3)
+
+    # sizes divisible by every arch's default tile (12 on FMA, 8 on AVX,
+    # 4 on SSE)
+    mc, nc, kc, ldc = 48, 8, 32, 48
+    a = rng.standard_normal(kc * mc)
+    b = rng.standard_normal(nc * kc)
+    ref = np.zeros(ldc * nc)
+    am = a.reshape(kc, mc)
+    bm = b.reshape(nc, kc)
+    for j in range(nc):
+        for i in range(mc):
+            ref[j * ldc + i] = am[:, i] @ bm[j, :]
+
+    print(f"{'arch':<14} {'SIMD':<8} {'FMA':<6} {'instrs':>7}  "
+          f"{'emulated result':<18} file")
+    for name, arch in sorted(ALL_ARCHS.items()):
+        aug = Augem(arch=arch)
+        gk = aug.generate_named("gemm", name=f"dgemm_kernel_{name}")
+        path = out_dir / f"dgemm_{name}.S"
+        path.write_text(gk.asm_text)
+
+        c = np.zeros(ldc * nc)
+        call_kernel(gk, [mc, nc, kc, a, b, c, ldc])
+        ok = np.allclose(c, ref)
+        n_instr = sum(1 for it in gk.items
+                      if type(it).__name__ == "Instr")
+        print(f"{name:<14} {arch.simd + str(arch.vector_bytes * 8):<8} "
+              f"{arch.fma or '-':<6} {n_instr:>7}  "
+              f"{'correct' if ok else 'WRONG':<18} {path}")
+        assert ok
+
+    print(f"\nGAS sources written to {out_dir}/ — assemble any of them with "
+          "`gcc -c <file>`")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Empirical tuning (paper §2.1): sweep unrolling / unroll&jam / prefetch
+configurations for each kernel, measure each candidate natively, and print
+the leaderboard.
+
+Run:  python examples/tune_kernels.py [gemm|gemv|axpy|dot]
+"""
+
+import sys
+
+from repro.tuning.search import tune_kernel
+
+
+def main() -> None:
+    kernels = sys.argv[1:] or ["axpy", "dot", "gemv", "gemm"]
+    for kernel in kernels:
+        result = tune_kernel(kernel, verbose=False)
+        print(result.report())
+        print(f"\n>>> winner for {kernel}: {result.best.describe()} "
+              f"at {result.best_gflops:.2f} GFLOPS\n")
+
+
+if __name__ == "__main__":
+    main()

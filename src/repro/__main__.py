@@ -1,0 +1,199 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list-archs
+    python -m repro generate gemm --arch haswell -o dgemm.S
+    python -m repro generate dot --nu 0 --unroll i=16 --split res=16
+    python -m repro validate dgemm.S --kernel gemm
+    python -m repro tune axpy
+
+``generate`` writes (or prints) a complete GAS kernel; ``validate``
+parses an emitted ``.S`` file back and checks it against the numpy
+reference under the bundled emulator — no toolchain required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .blas.kernels import KERNEL_SOURCES
+from .core.framework import Augem, default_config
+from .isa.arch import ALL_ARCHS, detect_host, get_arch
+from .transforms.pipeline import OptimizationConfig
+
+
+def _parse_pairs(values, what):
+    """['j=4', 'i=12'] -> (('j', 4), ('i', 12))."""
+    out = []
+    for v in values or ():
+        try:
+            var, factor = v.split("=")
+            out.append((var.strip(), int(factor)))
+        except ValueError:
+            raise SystemExit(f"bad --{what} argument {v!r}; expected var=N")
+    return tuple(out)
+
+
+def _build_config(args) -> "OptimizationConfig | None":
+    uj = _parse_pairs(args.unroll_jam, "unroll-jam")
+    u = _parse_pairs(args.unroll, "unroll")
+    split = ()
+    if args.split:
+        var_factor = _parse_pairs([args.split], "split")[0]
+        loop = u[0][0] if u else "i"
+        split = ((loop, var_factor[0], var_factor[1]),)
+    if not (uj or u or split or args.prefetch is not None):
+        return None
+    return OptimizationConfig(
+        unroll_jam=uj,
+        unroll=u,
+        split=split,
+        prefetch_distance=args.prefetch,
+    )
+
+
+def cmd_list_archs(_args) -> int:
+    host = detect_host()
+    for name, arch in sorted(ALL_ARCHS.items()):
+        marker = "  <- host" if arch is host else ""
+        print(f"{name:<14} {arch.description}{marker}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    arch = get_arch(args.arch) if args.arch else detect_host()
+    aug = Augem(arch=arch, schedule=not args.no_schedule)
+    config = _build_config(args)
+    gk = aug.generate_named(args.kernel, config=config,
+                            strategy=args.strategy, name=args.name)
+    if args.verbose:
+        print(gk.describe(), file=sys.stderr)
+        print("-- low-level C --", file=sys.stderr)
+        print(gk.low_level_c, file=sys.stderr)
+    if args.output:
+        Path(args.output).write_text(gk.asm_text)
+        print(f"wrote {args.output} ({gk.name} for {arch})", file=sys.stderr)
+    else:
+        print(gk.asm_text)
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from .emu.loader import parse_gas_function
+    from .emu.run import call_items
+
+    text = Path(args.file).read_text()
+    items = parse_gas_function(text)
+    rng = np.random.default_rng(0)
+    kernel = args.kernel
+    if kernel in ("gemm", "gemm_shuf"):
+        mc, nc, kc, ldc = args.m or 24, 8, 32, (args.m or 24)
+        a = rng.standard_normal(kc * mc)
+        b = rng.standard_normal(nc * kc)
+        c = np.zeros(ldc * nc)
+        call_items(items, [mc, nc, kc, a, b, c, ldc])
+        am = a.reshape(kc, mc)
+        ref = np.zeros_like(c)
+        for j in range(nc):
+            col = (b.reshape(nc, kc)[j, :] if kernel == "gemm"
+                   else b.reshape(kc, nc)[:, j])
+            for i in range(mc):
+                ref[j * ldc + i] = am[:, i] @ col
+        ok = np.allclose(c, ref)
+    elif kernel == "axpy":
+        n = args.m or 32
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+        ref = y + 1.5 * x
+        call_items(items, [n, 1.5, x, y])
+        ok = np.allclose(y, ref)
+    elif kernel == "dot":
+        n = args.m or 32
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+        ok = np.isclose(call_items(items, [n, x, y]), x @ y)
+    elif kernel == "scal":
+        n = args.m or 32
+        x = rng.standard_normal(n)
+        ref = 2.0 * x
+        call_items(items, [n, 2.0, x])
+        ok = np.allclose(x, ref)
+    elif kernel in ("gemv", "gemv_n"):
+        m, n, lda = args.m or 16, 8, 24
+        a = rng.standard_normal((n if kernel == "gemv" else m) * lda)
+        if kernel == "gemv":
+            x = rng.standard_normal(n)
+            y = rng.standard_normal(m)
+            ref = y + a.reshape(n, lda)[:, :m].T @ x
+            call_items(items, [m, n, a, lda, x, y])
+        else:
+            x = rng.standard_normal(n)
+            y = rng.standard_normal(m)
+            ref = y + a.reshape(m, lda)[:, :n] @ x
+            call_items(items, [m, n, a, lda, x, y])
+        ok = np.allclose(y, ref)
+    else:
+        raise SystemExit(f"unknown kernel family {kernel!r}")
+    print("PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def cmd_tune(args) -> int:
+    from .tuning.search import tune_kernel
+
+    result = tune_kernel(args.kernel, verbose=args.verbose)
+    print(result.report())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-archs", help="list modelled architectures")
+
+    g = sub.add_parser("generate", help="generate an assembly kernel")
+    g.add_argument("kernel", choices=sorted(KERNEL_SOURCES))
+    g.add_argument("--arch", choices=sorted(ALL_ARCHS), default=None)
+    g.add_argument("--strategy", default="auto",
+                   choices=["auto", "vdup", "shuf", "scalar"])
+    g.add_argument("--unroll-jam", action="append", metavar="VAR=N",
+                   help="unroll&jam factor (repeatable, outermost first)")
+    g.add_argument("--unroll", action="append", metavar="VAR=N")
+    g.add_argument("--split", metavar="ACC=N",
+                   help="accumulator split (DOT-style reductions)")
+    g.add_argument("--prefetch", type=int, default=None, metavar="DIST")
+    g.add_argument("--no-schedule", action="store_true")
+    g.add_argument("--name", default=None, help="exported symbol name")
+    g.add_argument("-o", "--output", default=None)
+    g.add_argument("-v", "--verbose", action="store_true")
+
+    v = sub.add_parser("validate",
+                       help="emulate a generated .S against numpy")
+    v.add_argument("file")
+    v.add_argument("--kernel", required=True,
+                   choices=sorted(KERNEL_SOURCES))
+    v.add_argument("--m", type=int, default=None,
+                   help="problem size override")
+
+    t = sub.add_parser("tune", help="empirical configuration search")
+    t.add_argument("kernel", choices=["gemm", "gemv", "axpy", "dot"])
+    t.add_argument("-v", "--verbose", action="store_true")
+
+    args = parser.parse_args(argv)
+    return {
+        "list-archs": cmd_list_archs,
+        "generate": cmd_generate,
+        "validate": cmd_validate,
+        "tune": cmd_tune,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

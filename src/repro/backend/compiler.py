@@ -1,0 +1,114 @@
+"""Native toolchain driver: assemble/compile sources into shared objects.
+
+Used for the generated GAS kernels (assembled with ``gcc -c``) and the C
+baseline kernels (the "ATLAS-proxy" path: C + general-purpose compiler).
+Artifacts are cached in a per-process temp directory keyed by content hash,
+so repeated benchmark runs don't re-invoke the toolchain.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+
+class ToolchainError(RuntimeError):
+    """Compilation or assembly failed; message carries the tool output."""
+
+
+def find_cc() -> str:
+    """Locate a C compiler (honors $CC)."""
+    cc = os.environ.get("CC")
+    if cc and shutil.which(cc):
+        return cc
+    for cand in ("gcc", "cc", "clang"):
+        if shutil.which(cand):
+            return cand
+    raise ToolchainError("no C compiler found (set $CC)")
+
+
+def have_native_toolchain() -> bool:
+    try:
+        find_cc()
+        return True
+    except ToolchainError:
+        return False
+
+
+_CACHE_DIR: Optional[Path] = None
+
+
+def _cache_dir() -> Path:
+    global _CACHE_DIR
+    if _CACHE_DIR is None:
+        _CACHE_DIR = Path(tempfile.mkdtemp(prefix="repro-augem-"))
+    return _CACHE_DIR
+
+
+def _run(cmd: Sequence[str]) -> None:
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise ToolchainError(
+            f"command failed: {' '.join(cmd)}\n{proc.stdout}\n{proc.stderr}"
+        )
+
+
+@dataclass
+class SharedObject:
+    """A compiled shared object plus its ctypes handle."""
+
+    path: Path
+    lib: ctypes.CDLL
+
+    def symbol(self, name: str):
+        return getattr(self.lib, name)
+
+
+_SO_CACHE: Dict[str, SharedObject] = {}
+
+
+def build_shared(sources: Dict[str, str], extra_flags: Sequence[str] = (),
+                 tag: str = "kernel") -> SharedObject:
+    """Compile ``sources`` (filename -> content) into one shared object.
+
+    ``.S`` files are assembled, ``.c`` files compiled; everything is linked
+    with ``-shared``.  Results are content-hash cached.
+    """
+    cc = find_cc()
+    key_src = "\x00".join(f"{n}\x01{s}" for n, s in sorted(sources.items()))
+    key = hashlib.sha256(
+        (key_src + "\x02" + " ".join(extra_flags)).encode()
+    ).hexdigest()[:24]
+    if key in _SO_CACHE:
+        return _SO_CACHE[key]
+
+    workdir = _cache_dir() / f"{tag}-{key}"
+    workdir.mkdir(parents=True, exist_ok=True)
+    objects: List[str] = []
+    for fname, content in sources.items():
+        src_path = workdir / fname
+        src_path.write_text(content)
+        obj_path = workdir / (src_path.stem + ".o")
+        flags = ["-O2", "-fPIC"]
+        if fname.endswith(".c"):
+            flags += list(extra_flags)
+        _run([cc, "-c", str(src_path), "-o", str(obj_path)] + flags)
+        objects.append(str(obj_path))
+    so_path = workdir / f"lib{tag}.so"
+    _run([cc, "-shared", "-o", str(so_path)] + objects)
+    lib = ctypes.CDLL(str(so_path))
+    so = SharedObject(path=so_path, lib=lib)
+    _SO_CACHE[key] = so
+    return so
+
+
+def assemble_kernel(asm_text: str, tag: str = "kernel") -> SharedObject:
+    """Assemble one GAS kernel into a loadable shared object."""
+    return build_shared({f"{tag}.S": asm_text}, tag=tag)

@@ -1,0 +1,58 @@
+"""Robust micro-benchmark timing.
+
+Single-core containers show large run-to-run variance (frequency scaling,
+host noise), so every measurement is min-of-R batches of N calls — the
+standard defense recommended by the profiling literature ("No optimization
+without measuring!").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass
+class Measurement:
+    """Best batch-average seconds per call plus dispersion info."""
+
+    best: float  # seconds per call, best batch
+    median: float
+    worst: float
+    batches: int
+    calls_per_batch: int
+
+    def mflops(self, flops: float) -> float:
+        return flops / self.best / 1e6
+
+    def gflops(self, flops: float) -> float:
+        return flops / self.best / 1e9
+
+
+def measure(fn: Callable[[], None], batches: int = 7,
+            calls_per_batch: Optional[int] = None,
+            target_batch_seconds: float = 0.05,
+            warmup: int = 1) -> Measurement:
+    """Time ``fn`` with min-of-batches; auto-sizes the batch if not given."""
+    for _ in range(warmup):
+        fn()
+    if calls_per_batch is None:
+        t0 = time.perf_counter()
+        fn()
+        once = max(time.perf_counter() - t0, 1e-9)
+        calls_per_batch = max(1, int(target_batch_seconds / once))
+    samples = []
+    for _ in range(batches):
+        t0 = time.perf_counter()
+        for _ in range(calls_per_batch):
+            fn()
+        samples.append((time.perf_counter() - t0) / calls_per_batch)
+    samples.sort()
+    return Measurement(
+        best=samples[0],
+        median=samples[len(samples) // 2],
+        worst=samples[-1],
+        batches=batches,
+        calls_per_batch=calls_per_batch,
+    )

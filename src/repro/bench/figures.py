@@ -1,0 +1,139 @@
+"""Figure drivers: regenerate Figs. 18, 19, 20, 21 of the paper's §5.
+
+Each driver sweeps problem sizes for every library in the lineup and
+reports Mflops per point plus the average-advantage summary the paper
+quotes.  Default sizes are scaled for a laptop-class single core; pass
+``paper_sizes=True`` for the full sweeps (Fig. 18: m=n from 1024 to 6144,
+k=256; Fig. 19: 2048-5120; Figs. 20/21: vectors of 1e5-2e5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..backend.timer import measure
+from .harness import Library, standard_lineup
+from .report import FigureResult, Series
+
+# paper sweeps (Fig. 18: 20 sizes 1024..6144; Fig. 19: 2048..5120 step 256;
+# Figs. 20/21: 1e5..2e5 step 5e3)
+PAPER_GEMM_SIZES = list(range(1024, 6145, 256))
+PAPER_GEMV_SIZES = list(range(2048, 5121, 256))
+PAPER_VECTOR_SIZES = list(range(100_000, 200_001, 5_000))
+
+# scaled defaults: same shape, laptop-budget runtimes
+DEFAULT_GEMM_SIZES = [256, 384, 512, 640, 768, 896, 1024, 1280]
+DEFAULT_GEMV_SIZES = [512, 768, 1024, 1280, 1536, 1792, 2048]
+DEFAULT_VECTOR_SIZES = list(range(100_000, 200_001, 20_000))
+
+GEMM_K = 256  # the paper fixes k = 256
+
+
+def _sweep(figure_id: str, title: str, x_label: str, xs: Sequence[int],
+           libraries: List[Library], make_runner, flops_of,
+           batches: int = 3) -> FigureResult:
+    series = [Series(lib.name) for lib in libraries]
+    for x in xs:
+        runners = make_runner(x)
+        for lib, s in zip(libraries, series):
+            fn = runners(lib)
+            if fn is None:
+                continue
+            m = measure(fn, batches=batches)
+            s.points[x] = m.mflops(flops_of(x))
+    return FigureResult(figure_id=figure_id, title=title, x_label=x_label,
+                        xs=list(xs), series=series)
+
+
+def fig18_dgemm(libraries: Optional[List[Library]] = None,
+                sizes: Optional[Sequence[int]] = None,
+                paper_sizes: bool = False, batches: int = 3) -> FigureResult:
+    """Fig. 18: DGEMM Mflops vs m=n (k=256)."""
+    libraries = libraries or standard_lineup()
+    xs = sizes or (PAPER_GEMM_SIZES if paper_sizes else DEFAULT_GEMM_SIZES)
+    rng = np.random.default_rng(0)
+
+    def make_runner(m):
+        a = rng.standard_normal((m, GEMM_K))
+        b = rng.standard_normal((GEMM_K, m))
+
+        def runner(lib):
+            return lambda: lib.dgemm(a, b)
+
+        return runner
+
+    return _sweep("fig18", "DGEMM (m=n, k=256)", "m=n", xs, libraries,
+                  make_runner, lambda m: 2.0 * m * m * GEMM_K, batches)
+
+
+def fig19_dgemv(libraries: Optional[List[Library]] = None,
+                sizes: Optional[Sequence[int]] = None,
+                paper_sizes: bool = False, batches: int = 3) -> FigureResult:
+    """Fig. 19: DGEMV Mflops vs m=n (y = Aᵀx on row-major A)."""
+    libraries = libraries or standard_lineup()
+    xs = sizes or (PAPER_GEMV_SIZES if paper_sizes else DEFAULT_GEMV_SIZES)
+    rng = np.random.default_rng(1)
+
+    def make_runner(m):
+        a = rng.standard_normal((m, m))
+        x = rng.standard_normal(m)
+
+        def runner(lib):
+            return lambda: lib.dgemv_t(a, x)
+
+        return runner
+
+    return _sweep("fig19", "DGEMV (m=n)", "m=n", xs, libraries,
+                  make_runner, lambda m: 2.0 * m * m, batches)
+
+
+def fig20_daxpy(libraries: Optional[List[Library]] = None,
+                sizes: Optional[Sequence[int]] = None,
+                paper_sizes: bool = False, batches: int = 3) -> FigureResult:
+    """Fig. 20: DAXPY Mflops vs vector size."""
+    libraries = libraries or standard_lineup()
+    xs = sizes or (PAPER_VECTOR_SIZES if paper_sizes else DEFAULT_VECTOR_SIZES)
+    rng = np.random.default_rng(2)
+
+    def make_runner(n):
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+
+        def runner(lib):
+            return lambda: lib.daxpy(1.000001, x, y)
+
+        return runner
+
+    return _sweep("fig20", "DAXPY", "vector size", xs, libraries,
+                  make_runner, lambda n: 2.0 * n, batches)
+
+
+def fig21_ddot(libraries: Optional[List[Library]] = None,
+               sizes: Optional[Sequence[int]] = None,
+               paper_sizes: bool = False, batches: int = 3) -> FigureResult:
+    """Fig. 21: DDOT Mflops vs vector size."""
+    libraries = libraries or standard_lineup()
+    xs = sizes or (PAPER_VECTOR_SIZES if paper_sizes else DEFAULT_VECTOR_SIZES)
+    rng = np.random.default_rng(3)
+
+    def make_runner(n):
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+
+        def runner(lib):
+            return lambda: lib.ddot(x, y)
+
+        return runner
+
+    return _sweep("fig21", "DDOT", "vector size", xs, libraries,
+                  make_runner, lambda n: 2.0 * n, batches)
+
+
+ALL_FIGURES = {
+    "fig18": fig18_dgemm,
+    "fig19": fig19_dgemv,
+    "fig20": fig20_daxpy,
+    "fig21": fig21_ddot,
+}

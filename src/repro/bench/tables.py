@@ -1,0 +1,140 @@
+"""Table drivers: regenerate Tables 5 and 6 of the paper's §5."""
+
+from __future__ import annotations
+
+import platform
+import re
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..backend.timer import measure
+from ..isa.arch import detect_host
+from .harness import Library, standard_lineup
+from .report import TableResult
+
+#: Table 6 sweeps m=n with k (or the B column count) fixed at 256
+TABLE6_K = 256
+DEFAULT_TABLE6_SIZES = [256, 512, 768, 1024]
+PAPER_TABLE6_SIZES = list(range(1024, 6145, 512))
+DEFAULT_GER_SIZES = [512, 1024, 1536, 2048]
+PAPER_GER_SIZES = list(range(2048, 5121, 512))
+
+
+def table5_platform() -> TableResult:
+    """Table 5: platform configuration (host + modelled arch specs)."""
+    host = detect_host()
+    cpu_model = "unknown"
+    try:
+        text = open("/proc/cpuinfo").read()
+        m = re.search(r"^model name\s*:\s*(.*)$", text, re.M)
+        if m:
+            cpu_model = m.group(1)
+    except OSError:
+        pass
+    rows = [
+        ["CPU", cpu_model],
+        ["detected arch spec", str(host)],
+        ["SIMD", f"{host.simd} {host.vector_bytes * 8}-bit"],
+        ["FMA", host.fma or "none"],
+        ["L1d", f"{host.l1d_bytes // 1024} KB"],
+        ["L2", f"{host.l2_bytes // 1024} KB"],
+        ["python", platform.python_version()],
+        ["numpy BLAS", _numpy_blas_name()],
+    ]
+    return TableResult("table5", "Platform configuration",
+                       ["field", "value"], rows)
+
+
+def _numpy_blas_name() -> str:
+    try:
+        cfg = np.show_config(mode="dicts")  # numpy >= 1.25
+        return cfg["Build Dependencies"]["blas"]["name"]
+    except Exception:
+        return "unknown"
+
+
+# flop counts per routine for an m x m problem with inner dim TABLE6_K
+def _routine_flops(routine: str, m: int) -> float:
+    k = TABLE6_K
+    return {
+        "SYMM": 2.0 * m * m * k,  # sym(A) (m x m) @ B (m x k)
+        "SYRK": 1.0 * m * m * k,  # lower triangle of A@A^T, A (m x k)
+        "SYR2K": 2.0 * m * m * k,
+        "TRMM": 1.0 * m * m * k,  # L (m x m) @ B (m x k)
+        "TRSM": 1.0 * m * m * k,
+        "GER": 2.0 * m * m,
+    }[routine]
+
+
+def _routine_workload(routine: str, m: int, rng):
+    k = TABLE6_K
+    if routine == "SYMM":
+        a = rng.standard_normal((m, m))
+        b = rng.standard_normal((m, k))
+        return lambda lib: (lambda: lib.dsymm(a, b)) if lib.dsymm else None
+    if routine == "SYRK":
+        a = rng.standard_normal((m, k))
+        return lambda lib: (lambda: lib.dsyrk(a)) if lib.dsyrk else None
+    if routine == "SYR2K":
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((m, k))
+        return lambda lib: (lambda: lib.dsyr2k(a, b)) if lib.dsyr2k else None
+    if routine == "TRMM":
+        l = np.tril(rng.standard_normal((m, m))) + 4.0 * np.eye(m)
+        b = rng.standard_normal((m, k))
+        return lambda lib: (lambda: lib.dtrmm(l, b)) if lib.dtrmm else None
+    if routine == "TRSM":
+        l = np.tril(rng.standard_normal((m, m))) + 4.0 * np.eye(m)
+        b = rng.standard_normal((m, k))
+        return lambda lib: (lambda: lib.dtrsm(l, b)) if lib.dtrsm else None
+    if routine == "GER":
+        a = rng.standard_normal((m, m))
+        x = rng.standard_normal(m)
+        y = rng.standard_normal(m)
+        return lambda lib: (lambda: lib.dger(1.000001, x, y, a)) if lib.dger else None
+    raise KeyError(routine)
+
+
+ROUTINES = ("SYMM", "SYRK", "SYR2K", "TRMM", "TRSM", "GER")
+
+
+def table6_level3(libraries: Optional[List[Library]] = None,
+                  sizes: Optional[Sequence[int]] = None,
+                  ger_sizes: Optional[Sequence[int]] = None,
+                  paper_sizes: bool = False,
+                  batches: int = 3) -> TableResult:
+    """Table 6: average Mflops of the six higher-level DLA routines."""
+    libraries = libraries or standard_lineup()
+    libraries = [lib for lib in libraries if lib.dsymm is not None]
+    sizes = sizes or (PAPER_TABLE6_SIZES if paper_sizes
+                      else DEFAULT_TABLE6_SIZES)
+    ger_sizes = ger_sizes or (PAPER_GER_SIZES if paper_sizes
+                              else DEFAULT_GER_SIZES)
+    rng = np.random.default_rng(6)
+    rows = []
+    for routine in ROUTINES:
+        sweep = ger_sizes if routine == "GER" else sizes
+        averages = []
+        for lib in libraries:
+            mflops_vals = []
+            for m in sweep:
+                runner_factory = _routine_workload(routine, m, rng)
+                fn = runner_factory(lib)
+                if fn is None:
+                    mflops_vals = []
+                    break
+                meas = measure(fn, batches=batches)
+                mflops_vals.append(meas.mflops(_routine_flops(routine, m)))
+            averages.append(
+                f"{sum(mflops_vals) / len(mflops_vals):.1f}"
+                if mflops_vals else "-"
+            )
+        rows.append([routine] + averages)
+    return TableResult(
+        "table6",
+        f"Higher-level DLA routines, avg Mflops (m=n in {list(sizes)}, "
+        f"k={TABLE6_K})",
+        ["Routine"] + [lib.name for lib in libraries],
+        rows,
+    )

@@ -1,0 +1,33 @@
+"""BLAS routines built on AUGEM-generated kernels (paper §4-§5)."""
+
+from .api import AugemBLAS, default_blas
+from .gemm import BlockSizes, GemmDriver, kernel_multiples, make_gemm
+from .gemv import GemvDriver, make_gemv
+from .ger import GerDriver, make_ger
+from .kernels import KERNEL_SOURCES
+from .level1 import AxpyDriver, DotDriver, ScalDriver, make_axpy, make_dot, make_scal
+from .level3 import Level3
+from . import packing, reference
+
+__all__ = [
+    "AugemBLAS",
+    "default_blas",
+    "GemmDriver",
+    "BlockSizes",
+    "make_gemm",
+    "kernel_multiples",
+    "GemvDriver",
+    "make_gemv",
+    "AxpyDriver",
+    "DotDriver",
+    "make_axpy",
+    "make_dot",
+    "ScalDriver",
+    "make_scal",
+    "GerDriver",
+    "make_ger",
+    "Level3",
+    "KERNEL_SOURCES",
+    "packing",
+    "reference",
+]

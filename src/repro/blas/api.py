@@ -1,0 +1,161 @@
+"""AugemBLAS — the user-facing library facade.
+
+Generates, assembles and caches every kernel for one architecture, then
+exposes the BLAS routines of the paper's evaluation:
+
+>>> from repro import AugemBLAS
+>>> blas = AugemBLAS()                 # host-detected arch
+>>> c = blas.dgemm(a, b)               # alpha*A@B + beta*C
+>>> y = blas.dgemv(a, x, trans=True)
+>>> blas.daxpy(2.0, x, y); s = blas.ddot(x, y)
+>>> c = blas.dsymm(a, b); c = blas.dsyrk(a); c = blas.dsyr2k(a, b)
+>>> b2 = blas.dtrmm(l, b); b3 = blas.dtrsm(l, b); blas.dger(1.0, x, y, a)
+
+Kernel generation happens lazily on first use of each routine; pass
+``configs`` to override the default/tuned optimization configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.framework import Augem, default_config
+from ..isa.arch import ArchSpec, detect_host
+from ..transforms.pipeline import OptimizationConfig
+from .gemm import BlockSizes, GemmDriver, make_gemm
+from .gemv import GemvDriver, make_gemv
+from .ger import GerDriver
+from .level1 import AxpyDriver, DotDriver, ScalDriver, make_axpy, make_dot, make_scal
+from .level3 import Level3
+
+
+class AugemBLAS:
+    """A BLAS built entirely from AUGEM-generated assembly kernels."""
+
+    def __init__(self, arch: Optional[ArchSpec] = None,
+                 configs: Optional[Dict[str, OptimizationConfig]] = None,
+                 layout: str = "dup",
+                 blocks: Optional[BlockSizes] = None,
+                 schedule: bool = True) -> None:
+        self.arch = arch or detect_host()
+        self.configs = configs or {}
+        self.layout = layout
+        self.blocks = blocks
+        self.schedule = schedule
+        self._gemm: Optional[GemmDriver] = None
+        self._gemv: Optional[GemvDriver] = None
+        self._axpy: Optional[AxpyDriver] = None
+        self._dot: Optional[DotDriver] = None
+        self._scal: Optional[ScalDriver] = None
+        self._level3: Optional[Level3] = None
+        self._ger: Optional[GerDriver] = None
+
+    # -- lazy kernel construction ------------------------------------------
+    @property
+    def gemm_driver(self) -> GemmDriver:
+        if self._gemm is None:
+            self._gemm = make_gemm(
+                arch=self.arch,
+                config=self.configs.get("gemm"),
+                layout=self.layout,
+                blocks=self.blocks,
+                schedule=self.schedule,
+            )
+        return self._gemm
+
+    @property
+    def gemv_driver(self) -> GemvDriver:
+        if self._gemv is None:
+            self._gemv = make_gemv(arch=self.arch,
+                                   config=self.configs.get("gemv"),
+                                   config_n=self.configs.get("gemv_n"),
+                                   schedule=self.schedule)
+        return self._gemv
+
+    @property
+    def axpy_driver(self) -> AxpyDriver:
+        if self._axpy is None:
+            self._axpy = make_axpy(arch=self.arch,
+                                   config=self.configs.get("axpy"),
+                                   schedule=self.schedule)
+        return self._axpy
+
+    @property
+    def dot_driver(self) -> DotDriver:
+        if self._dot is None:
+            self._dot = make_dot(arch=self.arch,
+                                 config=self.configs.get("dot"),
+                                 schedule=self.schedule)
+        return self._dot
+
+    @property
+    def scal_driver(self) -> ScalDriver:
+        if self._scal is None:
+            self._scal = make_scal(arch=self.arch,
+                                   config=self.configs.get("scal"),
+                                   schedule=self.schedule)
+        return self._scal
+
+    @property
+    def level3(self) -> Level3:
+        if self._level3 is None:
+            self._level3 = Level3(self.gemm_driver)
+        return self._level3
+
+    @property
+    def ger_driver(self) -> GerDriver:
+        if self._ger is None:
+            self._ger = GerDriver(self.axpy_driver)
+        return self._ger
+
+    # -- BLAS entry points -----------------------------------------------
+    def dgemm(self, a, b, c=None, alpha: float = 1.0,
+              beta: float = 0.0) -> np.ndarray:
+        return self.gemm_driver(a, b, c, alpha=alpha, beta=beta)
+
+    def dgemv(self, a, x, y=None, alpha: float = 1.0, beta: float = 0.0,
+              trans: bool = False) -> np.ndarray:
+        return self.gemv_driver(a, x, y, alpha=alpha, beta=beta, trans=trans)
+
+    def daxpy(self, alpha: float, x, y) -> np.ndarray:
+        return self.axpy_driver(alpha, x, y)
+
+    def ddot(self, x, y) -> float:
+        return self.dot_driver(x, y)
+
+    def dscal(self, alpha: float, x) -> np.ndarray:
+        return self.scal_driver(alpha, x)
+
+    def dsymm(self, a, b, c=None, alpha: float = 1.0,
+              beta: float = 0.0) -> np.ndarray:
+        return self.level3.symm(a, b, c, alpha=alpha, beta=beta)
+
+    def dsyrk(self, a, c=None, alpha: float = 1.0,
+              beta: float = 0.0) -> np.ndarray:
+        return self.level3.syrk(a, c, alpha=alpha, beta=beta)
+
+    def dsyr2k(self, a, b, c=None, alpha: float = 1.0,
+               beta: float = 0.0) -> np.ndarray:
+        return self.level3.syr2k(a, b, c, alpha=alpha, beta=beta)
+
+    def dtrmm(self, l, b, alpha: float = 1.0) -> np.ndarray:
+        return self.level3.trmm(l, b, alpha=alpha)
+
+    def dtrsm(self, l, b, alpha: float = 1.0) -> np.ndarray:
+        return self.level3.trsm(l, b, alpha=alpha)
+
+    def dger(self, alpha: float, x, y, a) -> np.ndarray:
+        return self.ger_driver(alpha, x, y, a)
+
+
+_default: Optional[AugemBLAS] = None
+
+
+def default_blas() -> AugemBLAS:
+    """Process-wide AugemBLAS for the host architecture."""
+    global _default
+    if _default is None:
+        _default = AugemBLAS()
+    return _default

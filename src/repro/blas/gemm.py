@@ -1,0 +1,158 @@
+"""Blocked DGEMM driver — Goto's GEBP algorithm around the generated
+micro-kernel (paper §4.1: "Our GEMM kernel is based on a general
+block-partitioned algorithm originally developed by Goto").
+
+The driver:
+
+1. partitions C into Mc x Nc tiles, K into Kc slices (Kc = 256 in the
+   paper's evaluation);
+2. packs the A block (alpha folded in) and the B panel into the layouts
+   the generated kernel expects;
+3. calls the remainder-free micro-kernel on a zero-padded column-major C
+   workspace, then adds the result into the caller's matrix.
+
+``alpha`` scales the packed A block; ``beta`` pre-scales C — the kernel
+itself computes pure ``C += A*B`` exactly as in paper Fig. 12.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..backend.runner import GemmKernel
+from ..core.framework import GeneratedKernel
+from .packing import pack_a, pack_b_dup, pack_b_shuf
+
+
+def kernel_multiples(generated: GeneratedKernel) -> tuple:
+    """(mu, nu, ku): trip-count multiples the generated kernel requires."""
+    mu = nu = ku = 1
+    for var, factor in generated.config.unroll_jam:
+        if var == "i":
+            mu = factor
+        elif var == "j":
+            nu = factor
+    for var, factor in generated.config.unroll:
+        if var == "l":
+            ku = factor
+        elif var == "i":
+            mu = max(mu, factor)
+        elif var == "j":
+            nu = max(nu, factor)
+    return mu, nu, ku
+
+
+def _round_up(x: int, mult: int) -> int:
+    return ((x + mult - 1) // mult) * mult
+
+
+@dataclass
+class BlockSizes:
+    """Cache-blocking parameters (paper Table 5 guides the defaults;
+    empirically re-tuned for the Python-driver overhead profile)."""
+
+    mc: int = 128
+    kc: int = 256
+    nc: int = 512
+
+
+class GemmDriver:
+    """Reusable DGEMM entry point around one loaded micro-kernel."""
+
+    def __init__(self, kernel: GemmKernel, layout: str = "dup",
+                 blocks: Optional[BlockSizes] = None) -> None:
+        if layout not in ("dup", "shuf"):
+            raise ValueError("layout must be 'dup' or 'shuf'")
+        self.kernel = kernel
+        self.layout = layout
+        self.blocks = blocks or BlockSizes()
+        self.mu, self.nu, self.ku = kernel_multiples(kernel.generated)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray,
+                 c: Optional[np.ndarray] = None,
+                 alpha: float = 1.0, beta: float = 0.0) -> np.ndarray:
+        """``C = alpha * A @ B + beta * C`` for row-major 2-D float64 arrays."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+        m, k = a.shape
+        _, n = b.shape
+        out: Optional[np.ndarray] = None
+        if c is not None:
+            out = np.array(c, dtype=np.float64)
+            if out.shape != (m, n):
+                raise ValueError(f"C has shape {out.shape}, expected {(m, n)}")
+            if beta == 0.0:
+                out[:] = 0.0
+            elif beta != 1.0:
+                out *= beta
+        if alpha == 0.0 or k == 0:
+            return out if out is not None else np.zeros((m, n))
+
+        bs = self.blocks
+        mc = max(_round_up(min(bs.mc, m), self.mu), self.mu)
+        nc = max(_round_up(min(bs.nc, n), self.nu), self.nu)
+        kc = max(_round_up(min(bs.kc, k), self.ku), self.ku)
+
+        # exact-size column-major workspace: index (i, j) at j*m + i.
+        # Interior tiles are written directly by the kernel; only edge tiles
+        # (where a trip count needs padding) go through a small scratch.
+        work = np.zeros(m * n)
+        work_rows = work.reshape(n, m)  # [j, i]
+
+        pack_b = pack_b_dup if self.layout == "dup" else pack_b_shuf
+        for j0 in range(0, n, nc):
+            jn = min(nc, n - j0)
+            jn_pad = _round_up(jn, self.nu)
+            b_cache = {}
+            for i0 in range(0, m, mc):
+                im = min(mc, m - i0)
+                im_pad = _round_up(im, self.mu)
+                edge = (im_pad != im) or (jn_pad != jn)
+                if edge:
+                    tile = np.zeros(im_pad * jn_pad)
+                    target, ldc = tile, im_pad
+                else:
+                    target, ldc = work[j0 * m + i0:], m
+                for l0 in range(0, k, kc):
+                    ln = min(kc, k - l0)
+                    ln_pad = _round_up(ln, self.ku)
+                    b_panel = b_cache.get(l0)
+                    if b_panel is None:
+                        b_panel = pack_b(b[l0:l0 + ln, j0:j0 + jn],
+                                         ln_pad, jn_pad)
+                        b_cache[l0] = b_panel
+                    a_block = a[i0:i0 + im, l0:l0 + ln]
+                    if alpha != 1.0:
+                        a_block = a_block * alpha
+                    a_panel = pack_a(a_block, im_pad, ln_pad)
+                    self.kernel(im_pad, jn_pad, ln_pad,
+                                a_panel, b_panel, target, ldc)
+                if edge:
+                    work_rows[j0:j0 + jn, i0:i0 + im] += (
+                        tile.reshape(jn_pad, im_pad)[:jn, :im]
+                    )
+        result = work_rows.T  # (m, n) view, F-contiguous
+        if out is None:
+            return result
+        out += result
+        return out
+
+
+def make_gemm(arch=None, config=None, strategy: str = "auto",
+              layout: str = "dup", blocks: Optional[BlockSizes] = None,
+              schedule: bool = True) -> GemmDriver:
+    """Generate, assemble and wrap a DGEMM for the given (or host) arch."""
+    from ..backend.runner import load_kernel
+    from ..core.framework import Augem
+
+    aug = Augem(arch=arch, schedule=schedule)
+    kernel_name = "gemm" if layout == "dup" else "gemm_shuf"
+    gk = aug.generate_named(kernel_name, config=config, strategy=strategy)
+    native = load_kernel(kernel_name, gk)
+    return GemmDriver(native, layout=layout, blocks=blocks)

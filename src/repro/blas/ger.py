@@ -1,0 +1,39 @@
+"""DGER (rank-1 update) cast on the generated AXPY kernel.
+
+``A += alpha * x yᵀ`` for a row-major A: row i receives ``(alpha*x[i]) *
+y`` — one AXPY per row, exactly how the paper's higher-level routines
+"invoke optimized Level-1 kernels ... to obtain high performance" (§4.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .level1 import AxpyDriver
+
+
+class GerDriver:
+    """``A = A + alpha * outer(x, y)``."""
+
+    def __init__(self, axpy: AxpyDriver) -> None:
+        self.axpy = axpy
+
+    def __call__(self, alpha: float, x: np.ndarray, y: np.ndarray,
+                 a: np.ndarray) -> np.ndarray:
+        if a.dtype != np.float64 or not a.flags.c_contiguous:
+            raise ValueError("A must be a contiguous float64 matrix")
+        m, n = a.shape
+        if len(x) != m or len(y) != n:
+            raise ValueError("vector lengths do not match A")
+        y = np.ascontiguousarray(y, dtype=np.float64)
+        for i in range(m):
+            coeff = alpha * float(x[i])
+            if coeff != 0.0:
+                self.axpy(coeff, y, a[i])
+        return a
+
+
+def make_ger(arch=None, schedule: bool = True) -> GerDriver:
+    from .level1 import make_axpy
+
+    return GerDriver(make_axpy(arch=arch, schedule=schedule))

@@ -1,0 +1,171 @@
+"""Level-3 routines cast on the generated GEMM kernel (paper §4, Table 6).
+
+"Most BLAS Level-3 routines, such as SYMM, SYRK, SYR2K, TRMM, and TRSM,
+can be implemented by casting the bulk of computation in terms of the GEMM
+kernel" — exactly what these drivers do.  Triangular diagonal blocks
+(TRMM/TRSM) use naive compiled C (:mod:`repro.backend.baselines`), so only
+self-contained code is on the measured path; for TRSM this reproduces the
+paper's finding that the substitution step "is translated into low-level C
+code in a straightforward fashion (without special optimizations)" and
+therefore trails the vendor library.
+
+Conventions: all matrices are row-major float64; SY* routines use the
+lower triangle ('L'), TR* routines take a lower-triangular, non-unit L on
+the left (``side='L'``) — the variants the paper's Table 6 exercises.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..backend.baselines import baseline_o2
+from .gemm import GemmDriver
+
+
+def _symmetrize_lower(a: np.ndarray) -> np.ndarray:
+    """Full matrix from the lower triangle of ``a``."""
+    lower = np.tril(a)
+    return lower + np.tril(a, -1).T
+
+
+class Level3:
+    """SYMM / SYRK / SYR2K / TRMM / TRSM on top of one GEMM driver."""
+
+    def __init__(self, gemm: GemmDriver, diag_block: int = 64) -> None:
+        self.gemm = gemm
+        self.diag_block = diag_block
+        self._tri = baseline_o2()
+
+    # -- SYMM ----------------------------------------------------------------
+    def symm(self, a: np.ndarray, b: np.ndarray,
+             c: Optional[np.ndarray] = None, alpha: float = 1.0,
+             beta: float = 0.0) -> np.ndarray:
+        """``C = alpha * sym(A) @ B + beta * C`` (A's lower triangle)."""
+        full = _symmetrize_lower(np.asarray(a, dtype=np.float64))
+        return self.gemm(full, b, c, alpha=alpha, beta=beta)
+
+    # -- SYRK ----------------------------------------------------------------
+    def syrk(self, a: np.ndarray, c: Optional[np.ndarray] = None,
+             alpha: float = 1.0, beta: float = 0.0) -> np.ndarray:
+        """``C = alpha * A @ Aᵀ + beta * C``, lower triangle updated.
+
+        Blocked: only the diagonal-and-below tiles are computed, each via
+        GEMM on ``A_i @ A_jᵀ`` — roughly half the flops of a full GEMM.
+        """
+        a = np.asarray(a, dtype=np.float64)
+        n, k = a.shape
+        nb = self.diag_block
+        out = np.zeros((n, n)) if c is None else np.array(c, dtype=np.float64)
+        scale = beta if beta != 0.0 else 0.0
+        tril_mask = np.tril(np.ones((n, n), dtype=bool))
+        if beta == 0.0:
+            out[tril_mask] = 0.0
+        elif beta != 1.0:
+            out[tril_mask] *= scale
+        for i0 in range(0, n, nb):
+            ih = min(nb, n - i0)
+            for j0 in range(0, i0 + ih, nb):
+                jh = min(nb, n - j0)
+                block = self.gemm(
+                    a[i0:i0 + ih], np.ascontiguousarray(a[j0:j0 + jh].T),
+                    alpha=alpha,
+                )
+                if j0 < i0:
+                    out[i0:i0 + ih, j0:j0 + jh] += block
+                else:  # diagonal tile: keep the lower part only
+                    ih2, jh2 = block.shape
+                    out[i0:i0 + ih, j0:j0 + jh] += np.tril(block[:ih, :jh])
+        return out
+
+    # -- SYR2K ------------------------------------------------------------
+    def syr2k(self, a: np.ndarray, b: np.ndarray,
+              c: Optional[np.ndarray] = None, alpha: float = 1.0,
+              beta: float = 0.0) -> np.ndarray:
+        """``C = alpha*(A Bᵀ + B Aᵀ) + beta*C``, lower triangle updated."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        n, k = a.shape
+        nb = self.diag_block
+        out = np.zeros((n, n)) if c is None else np.array(c, dtype=np.float64)
+        tril_mask = np.tril(np.ones((n, n), dtype=bool))
+        if beta == 0.0:
+            out[tril_mask] = 0.0
+        elif beta != 1.0:
+            out[tril_mask] *= beta
+        for i0 in range(0, n, nb):
+            ih = min(nb, n - i0)
+            for j0 in range(0, i0 + ih, nb):
+                jh = min(nb, n - j0)
+                block = self.gemm(
+                    a[i0:i0 + ih], np.ascontiguousarray(b[j0:j0 + jh].T),
+                    alpha=alpha,
+                )
+                block = self.gemm(
+                    b[i0:i0 + ih], np.ascontiguousarray(a[j0:j0 + jh].T),
+                    c=block, alpha=alpha, beta=1.0,
+                )
+                if j0 < i0:
+                    out[i0:i0 + ih, j0:j0 + jh] += block
+                else:
+                    out[i0:i0 + ih, j0:j0 + jh] += np.tril(block[:ih, :jh])
+        return out
+
+    # -- TRMM -----------------------------------------------------------------
+    def trmm(self, l: np.ndarray, b: np.ndarray,
+             alpha: float = 1.0) -> np.ndarray:
+        """``B = alpha * L @ B`` (L lower triangular, left side), blocked.
+
+        Row-block i of the result is ``L_ii @ B_i + sum_{j<i} L_ij @ B_j``;
+        the off-diagonal part is GEMM, the diagonal part naive C.
+        """
+        l = np.asarray(l, dtype=np.float64)
+        b = np.array(b, dtype=np.float64)  # computed out-of-place, returned
+        m, ncols = b.shape
+        nb = self.diag_block
+        # top-down is safe when reading B's original rows: keep a copy
+        src = b.copy()
+        for i0 in range(0, m, nb):
+            ih = min(nb, m - i0)
+            rows = src[i0:i0 + ih].copy()  # src must stay pristine
+            l_diag = np.ascontiguousarray(l[i0:i0 + ih, i0:i0 + ih])
+            self._tri.trmm_diag(l_diag, rows, ncols)
+            if i0 > 0:
+                rows = self.gemm(
+                    np.ascontiguousarray(l[i0:i0 + ih, :i0]), src[:i0],
+                    c=rows, beta=1.0,
+                )
+            b[i0:i0 + ih] = rows
+        if alpha != 1.0:
+            b *= alpha
+        return b
+
+    # -- TRSM ---------------------------------------------------------------
+    def trsm(self, l: np.ndarray, b: np.ndarray,
+             alpha: float = 1.0) -> np.ndarray:
+        """``B = alpha * L⁻¹ @ B`` — the paper's two-step decomposition:
+        1) ``B_1 = L11⁻¹ B_1`` (straightforward substitution, not
+        template-optimized — hence TRSM's deficit in Table 6);
+        2) ``B_2 = B_2 - L21 @ B_1`` (GEMM).
+        """
+        l = np.asarray(l, dtype=np.float64)
+        b = np.array(b, dtype=np.float64)
+        m, ncols = b.shape
+        nb = self.diag_block
+        if alpha != 1.0:
+            b *= alpha
+        for i0 in range(0, m, nb):
+            ih = min(nb, m - i0)
+            rows = np.ascontiguousarray(b[i0:i0 + ih])
+            if i0 > 0:
+                # B_i -= L[i, :i] @ X[:i]
+                rows = self.gemm(
+                    np.ascontiguousarray(l[i0:i0 + ih, :i0]), b[:i0],
+                    c=rows, alpha=-1.0, beta=1.0,
+                )
+                rows = np.ascontiguousarray(rows)
+            l_diag = np.ascontiguousarray(l[i0:i0 + ih, i0:i0 + ih])
+            self._tri.trsm_diag(l_diag, rows, ncols)
+            b[i0:i0 + ih] = rows
+        return b

@@ -1,0 +1,62 @@
+"""Panel packing for the blocked GEMM driver (Goto's GEBP decomposition).
+
+The generated micro-kernel (paper Fig. 12) indexes *packed* panels:
+
+- ``A[l*Mc + i]`` — the A block transposed so each l-slice holds Mc
+  contiguous elements (i fastest);
+- ``B[j*Kc + l]`` — the "dup" layout: one contiguous Kc column per j;
+- ``B[l*Nc + j]`` — the "shuf" layout: one contiguous Nc row per l.
+
+All packers accept arbitrary (even non-contiguous) float64 2-D inputs and
+zero-pad to the requested panel dimensions, so the driver can run the
+remainder-free micro-kernel over every edge block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pack_a(block: np.ndarray, mc: int, kc: int) -> np.ndarray:
+    """Pack an A block (rows x k) into ``A[l*mc + i]`` with zero padding."""
+    rows, k = block.shape
+    if rows > mc or k > kc:
+        raise ValueError(f"block {block.shape} exceeds panel ({mc}, {kc})")
+    out = np.zeros((kc, mc))
+    out[:k, :rows] = block.T
+    return out.ravel()
+
+
+def pack_b_dup(block: np.ndarray, kc: int, nc: int) -> np.ndarray:
+    """Pack a B block (k x cols) into ``B[j*kc + l]`` (column-per-j)."""
+    k, cols = block.shape
+    if k > kc or cols > nc:
+        raise ValueError(f"block {block.shape} exceeds panel ({kc}, {nc})")
+    out = np.zeros((nc, kc))
+    out[:cols, :k] = block.T
+    return out.ravel()
+
+
+def pack_b_shuf(block: np.ndarray, kc: int, nc: int) -> np.ndarray:
+    """Pack a B block (k x cols) into ``B[l*nc + j]`` (row-per-l)."""
+    k, cols = block.shape
+    if k > kc or cols > nc:
+        raise ValueError(f"block {block.shape} exceeds panel ({kc}, {nc})")
+    out = np.zeros((kc, nc))
+    out[:k, :cols] = block
+    return out.ravel()
+
+
+def unpack_a(packed: np.ndarray, mc: int, kc: int) -> np.ndarray:
+    """Inverse of :func:`pack_a` (testing helper): returns (mc, kc)."""
+    return packed.reshape(kc, mc).T.copy()
+
+
+def unpack_b_dup(packed: np.ndarray, kc: int, nc: int) -> np.ndarray:
+    """Inverse of :func:`pack_b_dup`: returns (kc, nc)."""
+    return packed.reshape(nc, kc).T.copy()
+
+
+def unpack_b_shuf(packed: np.ndarray, kc: int, nc: int) -> np.ndarray:
+    """Inverse of :func:`pack_b_shuf`: returns (kc, nc)."""
+    return packed.reshape(kc, nc).copy()

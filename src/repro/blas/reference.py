@@ -1,0 +1,73 @@
+"""Pure-numpy reference semantics for every routine — the test oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ref_gemm(a, b, c=None, alpha=1.0, beta=0.0):
+    out = alpha * (np.asarray(a) @ np.asarray(b))
+    if c is not None and beta != 0.0:
+        out = out + beta * np.asarray(c)
+    return out
+
+
+def ref_gemv(a, x, y=None, alpha=1.0, beta=0.0, trans=False):
+    a = np.asarray(a)
+    op = a.T if trans else a
+    out = alpha * (op @ np.asarray(x))
+    if y is not None and beta != 0.0:
+        out = out + beta * np.asarray(y)
+    return out
+
+
+def ref_axpy(alpha, x, y):
+    return np.asarray(y) + alpha * np.asarray(x)
+
+
+def ref_dot(x, y):
+    return float(np.asarray(x) @ np.asarray(y))
+
+
+def ref_symm(a, b, c=None, alpha=1.0, beta=0.0):
+    a = np.asarray(a)
+    full = np.tril(a) + np.tril(a, -1).T
+    return ref_gemm(full, b, c, alpha, beta)
+
+
+def ref_syrk(a, c=None, alpha=1.0, beta=0.0):
+    a = np.asarray(a)
+    full = alpha * (a @ a.T)
+    n = a.shape[0]
+    out = np.zeros((n, n)) if c is None else np.array(c, dtype=np.float64)
+    mask = np.tril(np.ones((n, n), dtype=bool))
+    base = out[mask] * beta if beta != 0.0 else 0.0
+    out[mask] = base + full[mask]
+    return out
+
+
+def ref_syr2k(a, b, c=None, alpha=1.0, beta=0.0):
+    a = np.asarray(a)
+    b = np.asarray(b)
+    full = alpha * (a @ b.T + b @ a.T)
+    n = a.shape[0]
+    out = np.zeros((n, n)) if c is None else np.array(c, dtype=np.float64)
+    mask = np.tril(np.ones((n, n), dtype=bool))
+    base = out[mask] * beta if beta != 0.0 else 0.0
+    out[mask] = base + full[mask]
+    return out
+
+
+def ref_trmm(l, b, alpha=1.0):
+    return alpha * (np.tril(np.asarray(l)) @ np.asarray(b))
+
+
+def ref_trsm(l, b, alpha=1.0):
+    import numpy.linalg as la
+
+    lo = np.tril(np.asarray(l))
+    return alpha * la.solve(lo, np.asarray(b))
+
+
+def ref_ger(alpha, x, y, a):
+    return np.asarray(a) + alpha * np.outer(x, y)

@@ -1,0 +1,63 @@
+"""The AUGEM core: templates, identifier, optimizers, assembly generation."""
+
+from .asmgen import CodegenError, KernelCodeGen, generate_assembly_items
+from .framework import Augem, GeneratedKernel, default_config
+from .identifier import SumReduce, TemplateIdentifier, identify_templates
+from .liveness import Liveness
+from .optimizers import OPTIMIZERS
+from .regalloc import (
+    Loc,
+    OutOfRegistersError,
+    Pack,
+    VectorAllocator,
+    array_root,
+)
+from .scheduler import schedule_block, schedule_items
+from .templates import (
+    MMComp,
+    MMStore,
+    MVComp,
+    TEMPLATE_NAMES,
+    UnrolledComp,
+    UnrolledMVComp,
+    UnrolledStore,
+    match_mm_comp,
+    match_mm_store,
+    match_mv_comp,
+)
+from .vectorize import PlannedPack, RegionPlan, VectorPlan, plan_vectorization
+
+__all__ = [
+    "Augem",
+    "GeneratedKernel",
+    "default_config",
+    "TemplateIdentifier",
+    "identify_templates",
+    "SumReduce",
+    "Liveness",
+    "OPTIMIZERS",
+    "VectorAllocator",
+    "OutOfRegistersError",
+    "Pack",
+    "Loc",
+    "array_root",
+    "schedule_block",
+    "schedule_items",
+    "TEMPLATE_NAMES",
+    "MMComp",
+    "MMStore",
+    "MVComp",
+    "UnrolledComp",
+    "UnrolledStore",
+    "UnrolledMVComp",
+    "match_mm_comp",
+    "match_mm_store",
+    "match_mv_comp",
+    "VectorPlan",
+    "RegionPlan",
+    "PlannedPack",
+    "plan_vectorization",
+    "KernelCodeGen",
+    "CodegenError",
+    "generate_assembly_items",
+]

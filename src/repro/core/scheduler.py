@@ -1,0 +1,128 @@
+"""Instruction scheduling (paper §1: "Instruction Selection/Scheduling").
+
+A classic critical-path list scheduler applied to the straight-line
+instruction sequences the template optimizers emit.  Dependences:
+
+- true/anti/output register dependences from each instruction's
+  reads/writes;
+- conservative memory dependences: loads never cross stores, stores stay
+  in order (the template regions never need finer disambiguation);
+- flag producers/consumers stay ordered (the regions contain none, but the
+  invariant keeps the pass safe to apply anywhere).
+
+Priority is the longest latency path to the end of the block, so loads —
+which feed multiply/FMA chains — float upward, hiding their latency, which
+is exactly the hand-scheduling habit in tuned assembly kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from ..isa.instructions import Instr, Item
+
+
+def _build_deps(instrs: Sequence[Instr]) -> List[Set[int]]:
+    """deps[i] = set of indices that must execute before instruction i."""
+    n = len(instrs)
+    deps: List[Set[int]] = [set() for _ in range(n)]
+    last_write: Dict[str, int] = {}
+    readers_since_write: Dict[str, List[int]] = {}
+    last_store = -1
+    last_flags_write = -1
+    flags_readers: List[int] = []
+    mem_readers_since_store: List[int] = []
+
+    for i, ins in enumerate(instrs):
+        reads = {r.name if r.kind == "gp" else f"v{r.index}" for r in ins.reg_reads()}
+        writes = {r.name if r.kind == "gp" else f"v{r.index}" for r in ins.reg_writes()}
+
+        for r in reads:  # true dependence
+            if r in last_write:
+                deps[i].add(last_write[r])
+        for w in writes:  # output + anti dependences
+            if w in last_write:
+                deps[i].add(last_write[w])
+            for rd in readers_since_write.get(w, ()):
+                if rd != i:
+                    deps[i].add(rd)
+
+        if ins.loads_mem():
+            if last_store >= 0:
+                deps[i].add(last_store)
+            mem_readers_since_store.append(i)
+        if ins.stores_mem():
+            if last_store >= 0:
+                deps[i].add(last_store)
+            deps[i].update(mem_readers_since_store)
+            last_store = i
+            mem_readers_since_store = []
+
+        if ins.info.reads_flags and last_flags_write >= 0:
+            deps[i].add(last_flags_write)
+            flags_readers.append(i)
+        if ins.info.writes_flags:
+            if last_flags_write >= 0:
+                deps[i].add(last_flags_write)
+            deps[i].update(flags_readers)
+            last_flags_write = i
+            flags_readers = []
+
+        for r in reads:
+            readers_since_write.setdefault(r, []).append(i)
+        for w in writes:
+            last_write[w] = i
+            readers_since_write[w] = []
+
+    return deps
+
+
+def schedule_block(instrs: Sequence[Instr]) -> List[Instr]:
+    """Reorder a straight-line block by critical-path list scheduling."""
+    n = len(instrs)
+    if n <= 2:
+        return list(instrs)
+    if any(ins.info.is_branch for ins in instrs):
+        return list(instrs)  # not straight-line; leave untouched
+
+    deps = _build_deps(instrs)
+    succs: List[List[int]] = [[] for _ in range(n)]
+    for i, ds in enumerate(deps):
+        for d in ds:
+            succs[d].append(i)
+
+    # longest path to end, weighted by latency
+    priority = [0] * n
+    for i in range(n - 1, -1, -1):
+        lat = instrs[i].info.latency
+        priority[i] = lat + max((priority[s] for s in succs[i]), default=0)
+
+    indeg = [len(ds) for ds in deps]
+    ready = [i for i in range(n) if indeg[i] == 0]
+    out: List[Instr] = []
+    while ready:
+        # highest priority first; original order breaks ties (stability)
+        ready.sort(key=lambda i: (-priority[i], i))
+        i = ready.pop(0)
+        out.append(instrs[i])
+        for s in succs[i]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                ready.append(s)
+    assert len(out) == n, "scheduler dropped instructions"
+    return out
+
+
+def schedule_items(items: Sequence[Item]) -> List[Item]:
+    """Schedule each maximal run of instructions between labels/directives."""
+    out: List[Item] = []
+    run: List[Instr] = []
+    for it in items:
+        if isinstance(it, Instr) and not it.info.is_branch:
+            run.append(it)
+        else:
+            out.extend(schedule_block(run))
+            run = []
+            out.append(it)
+    out.extend(schedule_block(run))
+    return out

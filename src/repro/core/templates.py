@@ -1,0 +1,295 @@
+"""Optimization templates (paper §3, Fig. 3).
+
+Each template formulates a commonly occurring instruction sequence within
+the low-level C of DLA kernels:
+
+- ``mmCOMP(A, idx1, B, idx2, res)``  — 4 statements: Load, Load, Mul, Add.
+- ``mmSTORE(C, idx, res)``           — 3 statements: Load, Add, Store.
+- ``mvCOMP(A, idx1, B, idx2, scal)`` — 5 statements: Load, Load, Mul, Add, Store.
+- ``mmUnrolledCOMP``                 — n1 x n2 grid of mmCOMP repetitions.
+- ``mmUnrolledSTORE``                — n consecutive mmSTOREs on one array.
+- ``mvUnrolledCOMP``                 — n consecutive mvCOMPs.
+
+This module defines the match patterns for the three *base* templates and
+the dataclasses describing matched instances.  Detecting the unrolled
+(merged) templates from runs of base matches is the Template Identifier's
+job (:mod:`repro.core.identifier`).
+
+Beyond the paper's six templates we add one auxiliary template,
+``sumREDUCE`` (a sum of split accumulators back into a scalar), needed to
+close the DOT kernel after accumulator splitting; it is documented as a
+reproduction extension in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..poet import cast as C
+from ..poet.pattern import Bind, match
+
+# ---------------------------------------------------------------------------
+# Base template patterns
+# ---------------------------------------------------------------------------
+
+#: mmCOMP (Fig. 3): tmp0=A[idx1]; tmp1=B[idx2]; tmp2=tmp0*tmp1; res=res+tmp2
+MM_COMP_PATTERN = [
+    C.Assign(Bind("tmp0", C.Id), "=", C.Index(Bind("A", C.Id), Bind("idx1"))),
+    C.Assign(Bind("tmp1", C.Id), "=", C.Index(Bind("B", C.Id), Bind("idx2"))),
+    C.Assign(Bind("tmp2", C.Id), "=",
+             C.BinOp("*", Bind("tmp0", C.Id), Bind("tmp1", C.Id))),
+    C.Assign(Bind("res", C.Id), "=",
+             C.BinOp("+", Bind("res", C.Id), Bind("tmp2", C.Id))),
+]
+
+#: mmSTORE (Fig. 3): tmp0=C[idx]; res=res+tmp0; C[idx]=res
+MM_STORE_PATTERN = [
+    C.Assign(Bind("tmp0", C.Id), "=", C.Index(Bind("C", C.Id), Bind("idx"))),
+    C.Assign(Bind("res", C.Id), "=",
+             C.BinOp("+", Bind("res", C.Id), Bind("tmp0", C.Id))),
+    C.Assign(C.Index(Bind("C", C.Id), Bind("idx")), "=", Bind("res", C.Id)),
+]
+
+#: mvSCALE (extension template, §7): tmp0=X[idx]; tmp0=tmp0*scal; X[idx]=tmp0
+MV_SCALE_PATTERN = [
+    C.Assign(Bind("tmp0", C.Id), "=", C.Index(Bind("X", C.Id), Bind("idx"))),
+    C.Assign(Bind("tmp0", C.Id), "=",
+             C.BinOp("*", Bind("tmp0", C.Id), Bind("scal", C.Id))),
+    C.Assign(C.Index(Bind("X", C.Id), Bind("idx")), "=", Bind("tmp0", C.Id)),
+]
+
+#: mvCOMP (Fig. 3): tmp0=A[idx1]; tmp1=B[idx2]; tmp0=tmp0*scal;
+#:                  tmp1=tmp1+tmp0; B[idx2]=tmp1
+MV_COMP_PATTERN = [
+    C.Assign(Bind("tmp0", C.Id), "=", C.Index(Bind("A", C.Id), Bind("idx1"))),
+    C.Assign(Bind("tmp1", C.Id), "=", C.Index(Bind("B", C.Id), Bind("idx2"))),
+    C.Assign(Bind("tmp0", C.Id), "=",
+             C.BinOp("*", Bind("tmp0", C.Id), Bind("scal", C.Id))),
+    C.Assign(Bind("tmp1", C.Id), "=",
+             C.BinOp("+", Bind("tmp1", C.Id), Bind("tmp0", C.Id))),
+    C.Assign(C.Index(Bind("B", C.Id), Bind("idx2")), "=", Bind("tmp1", C.Id)),
+]
+
+
+# ---------------------------------------------------------------------------
+# Matched instances
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MMComp:
+    """One matched mmCOMP: ``res += A[a_off] * B[b_off]``."""
+
+    a_ptr: str
+    a_off: Optional[int]  # integer offset when subscript is a literal
+    b_ptr: str
+    b_off: Optional[int]
+    res: str
+    tmps: Tuple[str, str, str]  # tmp0, tmp1, tmp2
+    a_idx: C.Node = None  # original subscript expressions
+    b_idx: C.Node = None
+
+
+@dataclass
+class MMStore:
+    """One matched mmSTORE: ``C[off] += res``."""
+
+    c_ptr: str
+    c_off: Optional[int]
+    res: str
+    tmp: str
+    c_idx: C.Node = None
+
+
+@dataclass
+class MVComp:
+    """One matched mvCOMP: ``B[b_off] += A[a_off] * scal``."""
+
+    a_ptr: str
+    a_off: Optional[int]
+    b_ptr: str
+    b_off: Optional[int]
+    scal: str
+    tmps: Tuple[str, str]  # tmp0 (A load / product), tmp1 (B load / sum)
+    a_idx: C.Node = None
+    b_idx: C.Node = None
+
+
+@dataclass
+class MVScale:
+    """One matched mvSCALE: ``X[off] *= scal`` (extension template)."""
+
+    x_ptr: str
+    x_off: Optional[int]
+    scal: str
+    tmp: str
+    x_idx: C.Node = None
+
+
+def _lit(e: C.Node) -> Optional[int]:
+    return e.value if isinstance(e, C.IntLit) else None
+
+
+def match_mm_comp(stmts: List[C.Node], pos: int) -> Optional[MMComp]:
+    """Match an mmCOMP starting at ``stmts[pos]``."""
+    window = stmts[pos:pos + 4]
+    if len(window) < 4:
+        return None
+    b = match(MM_COMP_PATTERN, window)
+    if b is None:
+        return None
+    # the product destination must be a fresh temp, distinct from the loads
+    names = {b["tmp0"].name, b["tmp1"].name}
+    if b["tmp2"].name in names or b["res"].name in names:
+        return None
+    if b["tmp2"].name == b["res"].name:
+        return None
+    return MMComp(
+        a_ptr=b["A"].name,
+        a_off=_lit(b["idx1"]),
+        b_ptr=b["B"].name,
+        b_off=_lit(b["idx2"]),
+        res=b["res"].name,
+        tmps=(b["tmp0"].name, b["tmp1"].name, b["tmp2"].name),
+        a_idx=b["idx1"],
+        b_idx=b["idx2"],
+    )
+
+
+def match_mm_store(stmts: List[C.Node], pos: int) -> Optional[MMStore]:
+    window = stmts[pos:pos + 3]
+    if len(window) < 3:
+        return None
+    b = match(MM_STORE_PATTERN, window)
+    if b is None:
+        return None
+    if b["tmp0"].name == b["res"].name:
+        return None
+    return MMStore(
+        c_ptr=b["C"].name,
+        c_off=_lit(b["idx"]),
+        res=b["res"].name,
+        tmp=b["tmp0"].name,
+        c_idx=b["idx"],
+    )
+
+
+def match_mv_scale(stmts: List[C.Node], pos: int) -> Optional[MVScale]:
+    window = stmts[pos:pos + 3]
+    if len(window) < 3:
+        return None
+    b = match(MV_SCALE_PATTERN, window)
+    if b is None:
+        return None
+    if b["scal"].name == b["tmp0"].name:
+        return None
+    return MVScale(
+        x_ptr=b["X"].name,
+        x_off=_lit(b["idx"]),
+        scal=b["scal"].name,
+        tmp=b["tmp0"].name,
+        x_idx=b["idx"],
+    )
+
+
+def match_mv_comp(stmts: List[C.Node], pos: int) -> Optional[MVComp]:
+    window = stmts[pos:pos + 5]
+    if len(window) < 5:
+        return None
+    b = match(MV_COMP_PATTERN, window)
+    if b is None:
+        return None
+    if b["tmp0"].name == b["tmp1"].name:
+        return None
+    if b["scal"].name in (b["tmp0"].name, b["tmp1"].name):
+        return None
+    return MVComp(
+        a_ptr=b["A"].name,
+        a_off=_lit(b["idx1"]),
+        b_ptr=b["B"].name,
+        b_off=_lit(b["idx2"]),
+        scal=b["scal"].name,
+        tmps=(b["tmp0"].name, b["tmp1"].name),
+        a_idx=b["idx1"],
+        b_idx=b["idx2"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Region payloads (stored in TaggedRegion.binding)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class UnrolledComp:
+    """An mmUnrolledCOMP region.
+
+    ``kind`` is ``"grid"`` for the full n1 x n2 combination structure of the
+    paper (GEMM) or ``"paired"`` for diagonal offsets (DOT: A and B advance
+    together).  ``comps`` are ordered B-major for grids (all A offsets for
+    the first B lane first), matching the store order of the C tile.
+    """
+
+    comps: List[MMComp]
+    kind: str  # "grid" | "paired"
+    n1: int  # number of distinct A offsets (grid) or pair count (paired)
+    n2: int  # number of distinct B lanes (grid) / 1 (paired)
+    a_ptr: str = ""
+    a_contiguous: bool = False
+    b_contiguous: bool = False  # True when B lanes are offsets of one pointer
+
+
+@dataclass
+class UnrolledStore:
+    """An mmUnrolledSTORE region: n consecutive offsets of one array."""
+
+    stores: List[MMStore]
+    c_ptr: str = ""
+
+    def __post_init__(self) -> None:
+        if self.stores and not self.c_ptr:
+            self.c_ptr = self.stores[0].c_ptr
+
+
+@dataclass
+class UnrolledMVComp:
+    """An mvUnrolledCOMP region: n consecutive offsets of A and B."""
+
+    comps: List[MVComp]
+    a_ptr: str = ""
+    b_ptr: str = ""
+    scal: str = ""
+
+    def __post_init__(self) -> None:
+        if self.comps:
+            self.a_ptr = self.comps[0].a_ptr
+            self.b_ptr = self.comps[0].b_ptr
+            self.scal = self.comps[0].scal
+
+
+@dataclass
+class UnrolledMVScale:
+    """An mvUnrolledSCALE region: n consecutive offsets of one array."""
+
+    scales: List[MVScale]
+    x_ptr: str = ""
+    scal: str = ""
+
+    def __post_init__(self) -> None:
+        if self.scales:
+            self.x_ptr = self.scales[0].x_ptr
+            self.scal = self.scales[0].scal
+
+
+TEMPLATE_NAMES = (
+    "mmCOMP",
+    "mmSTORE",
+    "mvCOMP",
+    "mmUnrolledCOMP",
+    "mmUnrolledSTORE",
+    "mvUnrolledCOMP",
+    "sumREDUCE",
+    "mvSCALE",
+    "mvUnrolledSCALE",
+)

@@ -1,0 +1,21 @@
+"""x86-64 subset emulator — the validation substrate for generated kernels."""
+
+from .loader import AsmParseError, parse_gas, parse_gas_function, parse_line, parse_operand
+from .machine import EmuError, Machine, MachineState
+from .memory import EmuMemoryError, Memory
+from .run import call_items, call_kernel
+
+__all__ = [
+    "Machine",
+    "MachineState",
+    "EmuError",
+    "Memory",
+    "EmuMemoryError",
+    "call_items",
+    "call_kernel",
+    "parse_gas",
+    "parse_gas_function",
+    "parse_line",
+    "parse_operand",
+    "AsmParseError",
+]

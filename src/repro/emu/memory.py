@@ -1,0 +1,89 @@
+"""Flat byte-addressed memory for the x86-64 subset emulator.
+
+Arrays are *bound* into the address space at 64-byte-aligned offsets; their
+addresses are plain Python ints, so pointer arithmetic in the emulated code
+behaves exactly like native pointers.  Doubles are read/written through
+numpy scalar views, guaranteeing bit-exact IEEE-754 behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+class EmuMemoryError(RuntimeError):
+    """Out-of-bounds or unmapped access in the emulator."""
+
+
+class Memory:
+    """A single contiguous memory arena."""
+
+    #: arbitrary non-zero base so null-ish pointers fault loudly
+    BASE = 0x10000
+
+    def __init__(self, size: int = 1 << 22) -> None:
+        self._buf = np.zeros(size, dtype=np.uint8)
+        self._next = 64  # arena-relative allocation cursor
+        self._bindings: Dict[int, Tuple[np.ndarray, int]] = {}
+
+    # -- binding numpy arrays -----------------------------------------------
+    def bind(self, array: np.ndarray) -> int:
+        """Copy ``array`` into the arena; returns its emulated address.
+
+        Call :meth:`sync_back` after the run to copy mutated bytes out.
+        """
+        if not array.flags.c_contiguous:
+            raise EmuMemoryError("only C-contiguous arrays can be bound")
+        nbytes = array.nbytes
+        offset = (self._next + 63) & ~63
+        if offset + nbytes > len(self._buf):
+            raise EmuMemoryError("emulated memory arena exhausted")
+        self._buf[offset:offset + nbytes] = np.frombuffer(
+            array.tobytes(), dtype=np.uint8
+        )
+        self._next = offset + nbytes
+        addr = self.BASE + offset
+        self._bindings[addr] = (array, nbytes)
+        return addr
+
+    def alloc(self, nbytes: int) -> int:
+        """Reserve zeroed space (for stack or scratch) and return its address."""
+        offset = (self._next + 63) & ~63
+        if offset + nbytes > len(self._buf):
+            raise EmuMemoryError("emulated memory arena exhausted")
+        self._next = offset + nbytes
+        return self.BASE + offset
+
+    def sync_back(self) -> None:
+        """Copy every bound array's bytes from the arena back out."""
+        for addr, (array, nbytes) in self._bindings.items():
+            off = addr - self.BASE
+            raw = self._buf[off:off + nbytes].tobytes()
+            flat = np.frombuffer(raw, dtype=array.dtype).reshape(array.shape)
+            array[...] = flat
+
+    # -- access -----------------------------------------------------------
+    def _off(self, addr: int, size: int) -> int:
+        off = addr - self.BASE
+        if off < 0 or off + size > len(self._buf):
+            raise EmuMemoryError(f"access at {addr:#x} (size {size}) out of range")
+        return off
+
+    def read_u64(self, addr: int) -> int:
+        off = self._off(addr, 8)
+        return int(self._buf[off:off + 8].view(np.uint64)[0])
+
+    def write_u64(self, addr: int, value: int) -> None:
+        off = self._off(addr, 8)
+        self._buf[off:off + 8].view(np.uint64)[0] = np.uint64(value & (2**64 - 1))
+
+    def read_f64(self, addr: int, count: int = 1) -> np.ndarray:
+        off = self._off(addr, 8 * count)
+        return self._buf[off:off + 8 * count].view(np.float64).copy()
+
+    def write_f64(self, addr: int, values: np.ndarray) -> None:
+        values = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        off = self._off(addr, 8 * len(values))
+        self._buf[off:off + 8 * len(values)].view(np.float64)[:] = values

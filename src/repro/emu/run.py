@@ -1,0 +1,76 @@
+"""Call emulated kernels with the System V calling convention.
+
+``call_kernel`` stands in for the native ctypes runners: numpy arrays are
+bound into emulated memory, scalar arguments land in the ABI registers
+(or the stack for the 7th+ integer argument), and mutated arrays are synced
+back after ``ret``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from ..core.framework import GeneratedKernel
+from ..isa.instructions import Item
+from ..isa.registers import SysVABI
+from .machine import Machine
+from .memory import Memory
+
+Arg = Union[int, float, np.ndarray]
+
+
+def call_items(items: Sequence[Item], args: Sequence[Arg],
+               max_steps: int = 500_000_000,
+               stack_bytes: int = 1 << 16) -> float:
+    """Execute an instruction stream as a function call.
+
+    :param args: ints (long), floats (double) or float64 numpy arrays
+        (passed by reference; mutations are synced back).
+    :returns: the value of xmm0's low lane after return (the double return
+        value, if the kernel has one).
+    """
+    mem = Memory()
+    machine = Machine(list(items), mem, max_steps=max_steps)
+
+    kinds: List[str] = []
+    values: List[Union[int, float]] = []
+    for a in args:
+        if isinstance(a, np.ndarray):
+            if a.dtype != np.float64:
+                raise TypeError("array arguments must be float64")
+            kinds.append("int")
+            values.append(mem.bind(a))
+        elif isinstance(a, float):
+            kinds.append("float")
+            values.append(a)
+        elif isinstance(a, (int, np.integer)):
+            kinds.append("int")
+            values.append(int(a))
+        else:
+            raise TypeError(f"unsupported argument type {type(a).__name__}")
+
+    # stack: sentinel return address on top, stack args above it
+    locs = SysVABI.classify_args(kinds)
+    stack_base = mem.alloc(stack_bytes)
+    rsp = stack_base + stack_bytes - 256  # room for stack-passed args
+    mem.write_u64(rsp, Machine.SENTINEL)
+    for loc, value in zip(locs, values):
+        if isinstance(loc, int):
+            mem.write_u64(rsp + loc, int(value))
+        elif loc.kind == "vec":
+            machine.state.vec[loc.index][0] = float(value)
+        else:
+            machine.state.write_gp(loc, int(value))
+    machine.state.gp["rsp"] = rsp
+
+    machine.run()
+    mem.sync_back()
+    return float(machine.state.vec[0][0])
+
+
+def call_kernel(generated: GeneratedKernel, args: Sequence[Arg],
+                max_steps: int = 500_000_000) -> float:
+    """Run a generated kernel under the emulator."""
+    return call_items(generated.items, args, max_steps=max_steps)

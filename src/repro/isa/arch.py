@@ -1,0 +1,137 @@
+"""Architecture specifications (the ``arch`` input of paper Fig. 2).
+
+An :class:`ArchSpec` tells the template optimizers which SIMD mode to use
+(SSE / AVX), whether fused multiply-add is available and in which flavour
+(FMA3 / FMA4 — paper Table 1 rows 2-4), the vector width, and the register
+budget used by the per-array register-queue allocator (§3.1).
+
+The two evaluation platforms of the paper (Table 5) are modelled, along
+with a generic SSE2 target (standing in for the pre-AVX GotoBLAS code path)
+and Haswell (this container's host, AVX2+FMA3).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """Everything the generator needs to know about a target CPU."""
+
+    name: str
+    simd: str  # "sse" or "avx"
+    fma: Optional[str] = None  # None, "fma3", "fma4"
+    vector_bytes: int = 16  # SIMD register width
+    n_vector_regs: int = 16
+    cache_line: int = 64
+    l1d_bytes: int = 32 * 1024
+    l2_bytes: int = 256 * 1024
+    #: default prefetch distance in *elements* (doubles) for tuning seeds
+    prefetch_distance: int = 64
+    #: human description for reports
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.simd not in ("sse", "avx"):
+            raise ValueError(f"simd must be 'sse' or 'avx', got {self.simd!r}")
+        if self.fma not in (None, "fma3", "fma4"):
+            raise ValueError(f"bad fma flavour {self.fma!r}")
+        if self.simd == "sse" and self.vector_bytes != 16:
+            raise ValueError("SSE vector width is 16 bytes")
+        if self.simd == "avx" and self.vector_bytes not in (16, 32):
+            raise ValueError("AVX vector width is 16 or 32 bytes")
+
+    @property
+    def doubles_per_vector(self) -> int:
+        """n in the paper's vectorization discussion (§3.4)."""
+        return self.vector_bytes // 8
+
+    @property
+    def has_fma(self) -> bool:
+        return self.fma is not None
+
+    def __str__(self) -> str:
+        fma = self.fma or "no-fma"
+        return f"{self.name}({self.simd}{self.vector_bytes * 8},{fma})"
+
+
+#: Intel Sandy Bridge E5-2680 (paper Table 5): AVX 256-bit, no FMA.
+SANDYBRIDGE = ArchSpec(
+    name="sandybridge",
+    simd="avx",
+    vector_bytes=32,
+    l1d_bytes=32 * 1024,
+    l2_bytes=256 * 1024,
+    prefetch_distance=64,
+    description="Intel Sandy Bridge (AVX, no FMA) — paper Table 5 column 1",
+)
+
+#: AMD Piledriver 6380 (paper Table 5): AVX 256-bit with FMA4 (and FMA3).
+PILEDRIVER = ArchSpec(
+    name="piledriver",
+    simd="avx",
+    fma="fma4",
+    vector_bytes=32,
+    l1d_bytes=16 * 1024,
+    l2_bytes=2048 * 1024,
+    prefetch_distance=96,
+    description="AMD Piledriver (AVX + FMA4) — paper Table 5 column 2",
+)
+
+#: Intel Haswell and later: AVX2 with FMA3 (this container's host CPU).
+HASWELL = ArchSpec(
+    name="haswell",
+    simd="avx",
+    fma="fma3",
+    vector_bytes=32,
+    l1d_bytes=32 * 1024,
+    l2_bytes=256 * 1024,
+    prefetch_distance=64,
+    description="Intel Haswell-class (AVX2 + FMA3)",
+)
+
+#: Generic SSE2 x86-64 — the pre-AVX code path (GotoBLAS-era hardware).
+GENERIC_SSE = ArchSpec(
+    name="generic_sse",
+    simd="sse",
+    vector_bytes=16,
+    prefetch_distance=32,
+    description="Generic x86-64 SSE2 (GotoBLAS-era, no AVX/FMA)",
+)
+
+ALL_ARCHS = {
+    a.name: a for a in (SANDYBRIDGE, PILEDRIVER, HASWELL, GENERIC_SSE)
+}
+
+
+def get_arch(name: str) -> ArchSpec:
+    try:
+        return ALL_ARCHS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown arch {name!r}; available: {sorted(ALL_ARCHS)}"
+        ) from None
+
+
+def detect_host(cpuinfo_path: str = "/proc/cpuinfo") -> ArchSpec:
+    """Pick the best spec the *host* CPU can execute natively.
+
+    Falls back to GENERIC_SSE when cpuinfo is unavailable (every x86-64
+    CPU has SSE2).  FMA4 is never selected for native execution — Intel
+    hosts cannot run it; Piledriver code is validated in the emulator.
+    """
+    try:
+        with open(cpuinfo_path) as f:
+            text = f.read()
+    except OSError:
+        return GENERIC_SSE
+    flags_match = re.search(r"^flags\s*:\s*(.*)$", text, re.M)
+    flags = set(flags_match.group(1).split()) if flags_match else set()
+    if "avx2" in flags and "fma" in flags:
+        return HASWELL
+    if "avx" in flags:
+        return SANDYBRIDGE
+    return GENERIC_SSE

@@ -1,0 +1,66 @@
+"""GNU assembler (AT&T syntax) emission of instruction streams."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .instructions import Comment, Directive, Instr, Item, Label
+from .operands import Mem
+from .registers import Register
+
+
+def _render(ins: Instr) -> str:
+    """Render one instruction, adding the ``q`` size suffix when an
+    immediate-to-memory form would otherwise be ambiguous for GAS."""
+    mnemonic = ins.mnemonic
+    has_mem = any(isinstance(op, Mem) for op in ins.operands)
+    has_reg = any(isinstance(op, Register) for op in ins.operands)
+    if (
+        has_mem
+        and not has_reg
+        and not mnemonic.startswith(("v", "prefetch"))
+        and mnemonic not in ("jmp",)
+    ):
+        mnemonic += "q"
+    ops = ", ".join(str(o) for o in ins.operands)
+    text = f"{mnemonic}\t{ops}" if ops else mnemonic
+    if ins.comment:
+        text += f"\t# {ins.comment}"
+    return text
+
+
+def emit_items(items: Iterable[Item]) -> str:
+    """Render an item stream as GAS text (one item per line)."""
+    lines: List[str] = []
+    for it in items:
+        if isinstance(it, Label):
+            lines.append(f"{it.name}:")
+        elif isinstance(it, Directive):
+            lines.append(f"\t{it.text}")
+        elif isinstance(it, Comment):
+            lines.append(f"\t# {it.text}")
+        elif isinstance(it, Instr):
+            lines.append(f"\t{_render(it)}")
+        else:
+            raise TypeError(f"not an instruction-stream item: {type(it).__name__}")
+    return "\n".join(lines) + "\n"
+
+
+def emit_function(name: str, items: Iterable[Item]) -> str:
+    """Wrap an instruction stream in a complete GAS function definition.
+
+    The output assembles standalone with ``gcc -c`` and exports ``name``
+    with default visibility, a GNU-stack note (non-executable stack) and
+    ``.type``/``.size`` annotations for sane tooling.
+    """
+    body = emit_items(items)
+    return (
+        '\t.section .note.GNU-stack,"",@progbits\n'
+        "\t.text\n"
+        f"\t.globl {name}\n"
+        f"\t.type {name}, @function\n"
+        "\t.p2align 4\n"
+        f"{name}:\n"
+        f"{body}"
+        f"\t.size {name}, .-{name}\n"
+    )

@@ -1,0 +1,62 @@
+"""Instruction operands: immediates, memory references, labels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .registers import Register
+
+
+@dataclass(frozen=True)
+class Imm:
+    """Immediate integer operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"${self.value}"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """Memory operand ``disp(base, index, scale)``."""
+
+    base: Optional[Register] = None
+    disp: int = 0
+    index: Optional[Register] = None
+    scale: int = 1
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"invalid scale {self.scale}")
+        if self.base is None and self.index is None:
+            raise ValueError("memory operand needs a base or an index")
+
+    def __str__(self) -> str:
+        parts = ""
+        if self.base is not None:
+            parts += str(self.base)
+        if self.index is not None:
+            parts += f",{self.index},{self.scale}"
+        disp = str(self.disp) if self.disp else ""
+        return f"{disp}({parts})"
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """Reference to a code label (jump target)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Operand = Union[Register, Imm, Mem, LabelRef]
+
+
+def mem(base: Register, disp: int = 0,
+        index: Optional[Register] = None, scale: int = 1) -> Mem:
+    """Convenience constructor for memory operands."""
+    return Mem(base=base, disp=disp, index=index, scale=scale)

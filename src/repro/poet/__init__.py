@@ -1,0 +1,58 @@
+"""Mini-POET: the program-transformation substrate of the AUGEM reproduction.
+
+The original AUGEM framework is implemented in POET, "an interpreted program
+transformation language designed to support programmable control and
+parameterization of compiler optimizations" (Yi, 2012).  This package is a
+small Python reimplementation of the POET facilities AUGEM relies on:
+
+- a C-subset lexer and recursive-descent parser (:mod:`.lexer`, :mod:`.parser`)
+- a typed AST (:mod:`.cast`) with a pretty-printer back to C (:mod:`.printer`)
+- structural pattern matching with capture bindings (:mod:`.pattern`)
+- generic traversals/rewriters (:mod:`.traversal`) and a symbol table
+  (:mod:`.symtab`)
+"""
+
+from . import cast
+from .errors import LexError, ParseError, PatternError, PoetError, TransformError
+from .lexer import Token, tokenize
+from .parser import parse_expr, parse_function, parse_program, parse_stmt
+from .pattern import Bind, ast_equal, find_all, match, matches, subst
+from .printer import to_c
+from .symtab import SymbolTable
+from .traversal import (
+    NodeTransformer,
+    NodeVisitor,
+    count_nodes,
+    replace_ids,
+    rewrite,
+    stmt_lists,
+)
+
+__all__ = [
+    "cast",
+    "tokenize",
+    "Token",
+    "parse_program",
+    "parse_function",
+    "parse_stmt",
+    "parse_expr",
+    "to_c",
+    "Bind",
+    "match",
+    "matches",
+    "find_all",
+    "subst",
+    "ast_equal",
+    "SymbolTable",
+    "NodeVisitor",
+    "NodeTransformer",
+    "rewrite",
+    "replace_ids",
+    "stmt_lists",
+    "count_nodes",
+    "PoetError",
+    "LexError",
+    "ParseError",
+    "PatternError",
+    "TransformError",
+]

@@ -1,0 +1,34 @@
+"""Error types for the mini-POET program-transformation engine."""
+
+from __future__ import annotations
+
+
+class PoetError(Exception):
+    """Base class for every error raised by :mod:`repro.poet`."""
+
+
+class LexError(PoetError):
+    """Raised when the lexer encounters a character it cannot tokenize."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{message} (line {line}, col {col})")
+        self.line = line
+        self.col = col
+
+
+class ParseError(PoetError):
+    """Raised when the parser encounters an unexpected token."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        loc = f" (line {line}, col {col})" if line else ""
+        super().__init__(f"{message}{loc}")
+        self.line = line
+        self.col = col
+
+
+class PatternError(PoetError):
+    """Raised for malformed patterns or inconsistent capture bindings."""
+
+
+class TransformError(PoetError):
+    """Raised when a source-to-source transformation cannot be applied."""

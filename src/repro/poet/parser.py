@@ -1,0 +1,304 @@
+"""Recursive-descent parser for the C subset used by AUGEM kernels.
+
+Supported grammar (enough for the paper's simple-C kernels and the
+low-level C produced by the source-to-source transforms):
+
+- function definitions with scalar / pointer parameters
+- declarations with optional initializers (``double* p = A + 4;``)
+- ``for`` loops (C89 style: declaration or assignment init), ``if``/``else``,
+  ``return``
+- assignments (``=``, ``+=``, ``-=``, ``*=``, ``/=``), ``++``/``--``
+- expressions: arithmetic, comparison, logical, array subscripts, casts,
+  calls, unary ``-``/``*``/``&``
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import cast as C
+from .errors import ParseError
+from .lexer import Token, tokenize
+
+_TYPE_KWS = ("void", "char", "int", "long", "float", "double")
+_QUALIFIERS = ("const", "register", "restrict")
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, source: str) -> None:
+        self.toks: List[Token] = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.toks[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        j = min(self.pos + offset, len(self.toks) - 1)
+        return self.toks[j]
+
+    def advance(self) -> Token:
+        t = self.cur
+        if t.kind != "eof":
+            self.pos += 1
+        return t
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        t = self.cur
+        return t.kind == kind and (text is None or t.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.at(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {self.cur.text!r}",
+                self.cur.line,
+                self.cur.col,
+            )
+        return self.advance()
+
+    # -- types -----------------------------------------------------------
+    def at_type(self) -> bool:
+        t = self.cur
+        return t.kind == "kw" and (t.text in _TYPE_KWS or t.text in _QUALIFIERS)
+
+    def parse_type(self) -> C.CType:
+        while self.cur.kind == "kw" and self.cur.text in _QUALIFIERS:
+            self.advance()
+        base = self.expect("kw").text
+        if base not in _TYPE_KWS:
+            raise ParseError(f"{base!r} is not a type", self.cur.line, self.cur.col)
+        ptr = 0
+        while True:
+            while self.cur.kind == "kw" and self.cur.text in _QUALIFIERS:
+                self.advance()
+            if self.accept("op", "*"):
+                ptr += 1
+            else:
+                break
+        return C.CType(base, ptr)
+
+    # -- top level ---------------------------------------------------------
+    def parse_program(self) -> C.Program:
+        funcs = []
+        while not self.at("eof"):
+            funcs.append(self.parse_funcdef())
+        return C.Program(funcs)
+
+    def parse_funcdef(self) -> C.FuncDef:
+        ret = self.parse_type()
+        name = self.expect("id").text
+        self.expect("punct", "(")
+        params: list = []
+        if not self.at("punct", ")"):
+            while True:
+                ptype = self.parse_type()
+                pname = self.expect("id").text
+                params.append(C.Param(pname, ptype))
+                if not self.accept("punct", ","):
+                    break
+        self.expect("punct", ")")
+        body = self.parse_block()
+        return C.FuncDef(name, ret, params, body)
+
+    # -- statements ---------------------------------------------------------
+    def parse_block(self) -> C.Block:
+        self.expect("punct", "{")
+        stmts = []
+        while not self.at("punct", "}"):
+            stmts.append(self.parse_stmt())
+        self.expect("punct", "}")
+        return C.Block(stmts)
+
+    def parse_stmt(self) -> C.Node:
+        if self.at("punct", "{"):
+            return self.parse_block()
+        if self.at("kw", "for"):
+            return self.parse_for()
+        if self.at("kw", "if"):
+            return self.parse_if()
+        if self.at("kw", "return"):
+            self.advance()
+            value = None if self.at("punct", ";") else self.parse_expr()
+            self.expect("punct", ";")
+            return C.Return(value)
+        if self.at_type():
+            d = self.parse_decl()
+            self.expect("punct", ";")
+            return d
+        s = self.parse_simple_stmt()
+        self.expect("punct", ";")
+        return s
+
+    def parse_decl(self) -> C.Decl:
+        ctype = self.parse_type()
+        name = self.expect("id").text
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_expr()
+        return C.Decl(name, ctype, init)
+
+    def parse_for(self) -> C.For:
+        self.expect("kw", "for")
+        self.expect("punct", "(")
+        init: Optional[C.Node] = None
+        if not self.at("punct", ";"):
+            init = self.parse_decl() if self.at_type() else self.parse_simple_stmt()
+        self.expect("punct", ";")
+        cond = None if self.at("punct", ";") else self.parse_expr()
+        self.expect("punct", ";")
+        step = None if self.at("punct", ")") else self.parse_simple_stmt()
+        self.expect("punct", ")")
+        body = self.parse_stmt()
+        if not isinstance(body, C.Block):
+            body = C.Block([body])
+        return C.For(init, cond, step, body)
+
+    def parse_if(self) -> C.If:
+        self.expect("kw", "if")
+        self.expect("punct", "(")
+        cond = self.parse_expr()
+        self.expect("punct", ")")
+        then = self.parse_stmt()
+        if not isinstance(then, C.Block):
+            then = C.Block([then])
+        els = None
+        if self.accept("kw", "else"):
+            e = self.parse_stmt()
+            els = e if isinstance(e, C.Block) else C.Block([e])
+        return C.If(cond, then, els)
+
+    def parse_simple_stmt(self) -> C.Node:
+        """Assignment, ++/--, or bare expression (call)."""
+        lhs = self.parse_expr()
+        for op in ("=", "+=", "-=", "*=", "/="):
+            if self.accept("op", op):
+                rhs = self.parse_expr()
+                return C.Assign(lhs, op, rhs)
+        if self.accept("op", "++"):
+            return C.Assign(lhs, "+=", C.IntLit(1))
+        if self.accept("op", "--"):
+            return C.Assign(lhs, "-=", C.IntLit(1))
+        return C.ExprStmt(lhs)
+
+    # -- expressions (precedence climbing) -----------------------------------
+    _PREC = {
+        "||": 1, "&&": 2,
+        "|": 3, "^": 4, "&": 5,
+        "==": 6, "!=": 6,
+        "<": 7, "<=": 7, ">": 7, ">=": 7,
+        "<<": 8, ">>": 8,
+        "+": 9, "-": 9,
+        "*": 10, "/": 10, "%": 10,
+    }
+
+    def parse_expr(self, min_prec: int = 1) -> C.Node:
+        left = self.parse_unary()
+        while True:
+            t = self.cur
+            if t.kind != "op" or t.text not in self._PREC:
+                break
+            prec = self._PREC[t.text]
+            if prec < min_prec:
+                break
+            self.advance()
+            right = self.parse_expr(prec + 1)
+            left = C.BinOp(t.text, left, right)
+        return left
+
+    def parse_unary(self) -> C.Node:
+        if self.at("op", "-"):
+            self.advance()
+            operand = self.parse_unary()
+            if isinstance(operand, C.IntLit):
+                return C.IntLit(-operand.value)
+            if isinstance(operand, C.FloatLit):
+                return C.FloatLit(-operand.value)
+            return C.UnaryOp("-", operand)
+        for op in ("!", "*", "&", "~"):
+            if self.at("op", op):
+                self.advance()
+                return C.UnaryOp(op, self.parse_unary())
+        # cast: '(' type ... ')'
+        if self.at("punct", "(") and self.peek().kind == "kw" and self.peek().text in _TYPE_KWS:
+            self.advance()
+            ctype = self.parse_type()
+            self.expect("punct", ")")
+            return C.Cast(ctype, self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> C.Node:
+        e = self.parse_primary()
+        while True:
+            if self.accept("punct", "["):
+                idx = self.parse_expr()
+                self.expect("punct", "]")
+                e = C.Index(e, idx)
+            elif self.at("punct", "(") and isinstance(e, C.Id):
+                self.advance()
+                args = []
+                if not self.at("punct", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept("punct", ","):
+                            break
+                self.expect("punct", ")")
+                e = C.Call(e.name, args)
+            else:
+                return e
+
+    def parse_primary(self) -> C.Node:
+        t = self.cur
+        if t.kind == "int":
+            self.advance()
+            return C.IntLit(int(t.text, 0))
+        if t.kind == "float":
+            self.advance()
+            return C.FloatLit(float(t.text))
+        if t.kind == "id":
+            self.advance()
+            return C.Id(t.text)
+        if self.accept("punct", "("):
+            e = self.parse_expr()
+            self.expect("punct", ")")
+            return e
+        raise ParseError(f"unexpected token {t.text!r}", t.line, t.col)
+
+
+def parse_program(source: str) -> C.Program:
+    """Parse a translation unit (one or more function definitions)."""
+    return Parser(source).parse_program()
+
+
+def parse_function(source: str) -> C.FuncDef:
+    """Parse a source containing exactly one function definition."""
+    prog = parse_program(source)
+    if len(prog.funcs) != 1:
+        raise ParseError(f"expected 1 function, found {len(prog.funcs)}")
+    return prog.funcs[0]
+
+
+def parse_stmt(source: str) -> C.Node:
+    """Parse a single statement (useful in tests and pattern building)."""
+    p = Parser(source)
+    s = p.parse_stmt()
+    if not p.at("eof"):
+        raise ParseError("trailing input after statement", p.cur.line, p.cur.col)
+    return s
+
+
+def parse_expr(source: str) -> C.Node:
+    """Parse a single expression."""
+    p = Parser(source)
+    e = p.parse_expr()
+    if not p.at("eof"):
+        raise ParseError("trailing input after expression", p.cur.line, p.cur.col)
+    return e

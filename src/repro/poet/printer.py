@@ -1,0 +1,117 @@
+"""Pretty-printer: AST -> C source text.
+
+The printer emits compilable C for every node, including the
+``TaggedRegion`` wrapper (printed as a commented block, so tagged code is
+still inspectable/compilable before template optimization).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import cast as C
+
+_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+def _expr(e: C.Node, parent_prec: int = 0) -> str:
+    if isinstance(e, C.Id):
+        return e.name
+    if isinstance(e, C.IntLit):
+        return str(e.value)
+    if isinstance(e, C.FloatLit):
+        text = repr(e.value)
+        return text if ("." in text or "e" in text or "inf" in text or "nan" in text) else text + ".0"
+    if isinstance(e, C.BinOp):
+        prec = _PREC[e.op]
+        s = f"{_expr(e.left, prec)} {e.op} {_expr(e.right, prec + 1)}"
+        return f"({s})" if prec < parent_prec else s
+    if isinstance(e, C.UnaryOp):
+        return f"{e.op}{_expr(e.operand, 11)}"
+    if isinstance(e, C.Index):
+        return f"{_expr(e.base, 11)}[{_expr(e.index)}]"
+    if isinstance(e, C.Call):
+        return f"{e.func}({', '.join(_expr(a) for a in e.args)})"
+    if isinstance(e, C.Cast):
+        return f"({e.ctype}){_expr(e.operand, 11)}"
+    raise TypeError(f"not an expression node: {type(e).__name__}")
+
+
+def _stmt(s: C.Node, out: List[str], indent: int) -> None:
+    pad = "    " * indent
+    if isinstance(s, C.Decl):
+        init = f" = {_expr(s.init)}" if s.init is not None else ""
+        out.append(f"{pad}{s.ctype} {s.name}{init};")
+    elif isinstance(s, C.Assign):
+        out.append(f"{pad}{_expr(s.lhs)} {s.op} {_expr(s.rhs)};")
+    elif isinstance(s, C.ExprStmt):
+        out.append(f"{pad}{_expr(s.expr)};")
+    elif isinstance(s, C.Return):
+        out.append(f"{pad}return{' ' + _expr(s.value) if s.value is not None else ''};")
+    elif isinstance(s, C.Block):
+        out.append(pad + "{")
+        for inner in s.stmts:
+            _stmt(inner, out, indent + 1)
+        out.append(pad + "}")
+    elif isinstance(s, C.For):
+        init = _inline_stmt(s.init)
+        cond = _expr(s.cond) if s.cond is not None else ""
+        step = _inline_stmt(s.step)
+        out.append(f"{pad}for ({init}; {cond}; {step}) {{")
+        for inner in s.body.stmts:
+            _stmt(inner, out, indent + 1)
+        out.append(pad + "}")
+    elif isinstance(s, C.If):
+        out.append(f"{pad}if ({_expr(s.cond)}) {{")
+        for inner in s.then.stmts:
+            _stmt(inner, out, indent + 1)
+        if s.els is not None:
+            out.append(pad + "} else {")
+            for inner in s.els.stmts:
+                _stmt(inner, out, indent + 1)
+        out.append(pad + "}")
+    elif isinstance(s, C.TaggedRegion):
+        out.append(f"{pad}/* BEGIN {s.template} */")
+        for inner in s.stmts:
+            _stmt(inner, out, indent)
+        out.append(f"{pad}/* END {s.template} */")
+    else:
+        raise TypeError(f"not a statement node: {type(s).__name__}")
+
+
+def _inline_stmt(s) -> str:
+    """Render a for-header init/step statement without trailing ';'."""
+    if s is None:
+        return ""
+    tmp: List[str] = []
+    _stmt(s, tmp, 0)
+    assert len(tmp) == 1
+    return tmp[0].rstrip(";")
+
+
+def to_c(node: C.Node) -> str:
+    """Render any AST node to C source text."""
+    if isinstance(node, C.Program):
+        return "\n\n".join(to_c(f) for f in node.funcs) + "\n"
+    if isinstance(node, C.FuncDef):
+        params = ", ".join(f"{p.ctype} {p.name}" for p in node.params)
+        out = [f"{node.ret_type} {node.name}({params}) {{"]
+        for s in node.body.stmts:
+            _stmt(s, out, 1)
+        out.append("}")
+        return "\n".join(out)
+    if isinstance(
+        node,
+        (C.Decl, C.Assign, C.ExprStmt, C.Return, C.Block, C.For, C.If, C.TaggedRegion),
+    ):
+        out: List[str] = []
+        _stmt(node, out, 0)
+        return "\n".join(out)
+    return _expr(node)

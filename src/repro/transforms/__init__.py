@@ -1,0 +1,38 @@
+"""Source-to-source optimizations — the Optimized C Kernel Generator.
+
+The five transformations of paper §2.1 (loop unroll&jam, loop unrolling,
+strength reduction, scalar replacement, data prefetching), plus accumulator
+splitting (required to vectorize reductions such as DOT), composed by a
+parameterized :class:`~repro.transforms.pipeline.OptimizationConfig`.
+"""
+
+from .base import FreshNames, LoopInfo, Transform, find_loop, loop_info, require_loop
+from .pipeline import OptimizationConfig, build_pipeline, optimize_c_kernel
+from .prefetch import PREFETCH_FUNCS, InsertPrefetch
+from .scalar_replacement import HoistDecls, ScalarReplace
+from .strength_reduction import AffineForm, StrengthReduce, decompose_affine
+from .unroll import SplitAccumulator, Unroll
+from .unroll_jam import UnrollJam, jam
+
+__all__ = [
+    "Transform",
+    "LoopInfo",
+    "loop_info",
+    "find_loop",
+    "require_loop",
+    "FreshNames",
+    "Unroll",
+    "SplitAccumulator",
+    "UnrollJam",
+    "jam",
+    "StrengthReduce",
+    "decompose_affine",
+    "AffineForm",
+    "ScalarReplace",
+    "HoistDecls",
+    "InsertPrefetch",
+    "PREFETCH_FUNCS",
+    "OptimizationConfig",
+    "build_pipeline",
+    "optimize_c_kernel",
+]

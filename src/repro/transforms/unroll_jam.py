@@ -1,0 +1,87 @@
+"""Loop unroll&jam (paper §2.1).
+
+Unroll&jam unrolls an *outer* loop and fuses ("jams") the resulting copies
+of its inner loops, so that the replicated computation lands inside a single
+inner loop body — the shape that produces the mmUnrolledCOMP instruction
+sequences of paper Fig. 13.
+
+The jam step here is structural: the unrolled copies of the outer-loop body
+are statement lists with identical shape; statements are merged position by
+position, and for-loops with identical headers are fused recursively.  This
+is legal for the DLA kernels AUGEM targets because distinct outer iterations
+write disjoint data (different columns of C / different accumulators).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..poet import cast as C
+from ..poet.errors import TransformError
+from ..poet.pattern import ast_equal
+from .base import FreshNames, Transform, loop_info, require_loop
+from .unroll import unrolled_copies
+
+
+def _is_for(s: C.Node) -> bool:
+    return isinstance(s, C.For)
+
+
+def _same_header(a: C.For, b: C.For) -> bool:
+    return (
+        ast_equal(a.init, b.init)
+        and ast_equal(a.cond, b.cond)
+        and ast_equal(a.step, b.step)
+    )
+
+
+def jam(copies: List[List[C.Node]]) -> List[C.Node]:
+    """Merge aligned statement lists, fusing identically-headed loops.
+
+    All lists must have the same length and aligned statement kinds; loops
+    are fused recursively, other statements are emitted copy-by-copy at
+    their position (declarations first so fused loop bodies may reference
+    every copy's temporaries).
+    """
+    if not copies:
+        return []
+    length = len(copies[0])
+    if any(len(c) != length for c in copies):
+        raise TransformError("unroll&jam: copies have diverging shapes")
+
+    out: List[C.Node] = []
+    for pos in range(length):
+        slot = [c[pos] for c in copies]
+        if all(_is_for(s) for s in slot):
+            first = slot[0]
+            if all(_same_header(first, s) for s in slot[1:]):
+                fused_body = jam([s.body.stmts for s in slot])
+                out.append(C.For(first.init, first.cond, first.step, C.Block(fused_body)))
+                continue
+            raise TransformError(
+                "unroll&jam: inner loops have different headers; cannot fuse"
+            )
+        out.extend(slot)
+    return out
+
+
+class UnrollJam(Transform):
+    """Unroll the loop over ``var`` by ``factor`` and jam the copies."""
+
+    name = "unroll_jam"
+
+    def __init__(self, var: str, factor: int) -> None:
+        if factor < 1:
+            raise TransformError("unroll&jam factor must be >= 1")
+        self.var = var
+        self.factor = factor
+
+    def apply(self, fn: C.FuncDef) -> C.FuncDef:
+        if self.factor == 1:
+            return fn
+        info = require_loop(fn.body, self.var)
+        loop = info.loop
+        copies = unrolled_copies(info, self.factor, FreshNames())
+        loop.body = C.Block(jam(copies))
+        loop.step = C.Assign(C.Id(info.var), "+=", C.IntLit(self.factor * info.step))
+        return fn

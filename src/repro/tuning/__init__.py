@@ -1,0 +1,25 @@
+"""Empirical tuning: candidate spaces and the measurement-driven search."""
+
+from .search import TrialResult, TuningResult, tune_kernel
+from .space import (
+    CANDIDATE_SPACES,
+    Candidate,
+    axpy_candidates,
+    candidates_for,
+    dot_candidates,
+    gemm_candidates,
+    gemv_candidates,
+)
+
+__all__ = [
+    "Candidate",
+    "candidates_for",
+    "CANDIDATE_SPACES",
+    "gemm_candidates",
+    "gemv_candidates",
+    "axpy_candidates",
+    "dot_candidates",
+    "tune_kernel",
+    "TuningResult",
+    "TrialResult",
+]

@@ -1,0 +1,161 @@
+"""Empirical tuning driver (paper §2.1).
+
+Generates each candidate configuration, assembles it natively, validates
+it against the numpy reference on a small problem (a wrong kernel must
+never win the search), measures it with min-of-batches timing, and keeps
+the fastest.  Candidates that fail generation (e.g. register-file
+overflow at extreme unroll factors) are skipped and recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..backend.runner import load_kernel
+from ..backend.timer import measure
+from ..core.framework import Augem
+from ..isa.arch import ArchSpec, detect_host
+from .space import Candidate, candidates_for
+
+
+@dataclass
+class TrialResult:
+    candidate: Candidate
+    gflops: float  # -1.0 when the candidate failed
+    error: Optional[str] = None
+
+
+@dataclass
+class TuningResult:
+    kernel: str
+    arch: ArchSpec
+    best: Candidate
+    best_gflops: float
+    trials: List[TrialResult] = field(default_factory=list)
+
+    def report(self) -> str:
+        lines = [f"tuning {self.kernel} on {self.arch}:"]
+        for t in sorted(self.trials, key=lambda t: -t.gflops):
+            status = f"{t.gflops:7.2f} GF" if t.gflops >= 0 else f"failed: {t.error}"
+            marker = " <== best" if t.candidate is self.best else ""
+            lines.append(f"  {t.candidate.describe():55s} {status}{marker}")
+        return "\n".join(lines)
+
+
+def _gemm_workload(rng):
+    mc, nc, kc = 64, 64, 256
+    a = rng.standard_normal(kc * mc)
+    b = rng.standard_normal(nc * kc)
+    c = np.zeros(mc * nc)
+    flops = 2.0 * mc * nc * kc
+
+    def run(k):
+        k(mc, nc, kc, a, b, c, mc)
+
+    def run_shuf(k):
+        k(mc, nc, kc, a, b, c, mc)
+
+    return run, flops
+
+
+def _validate_gemm(kernel, layout: str, rng) -> bool:
+    import math
+
+    from ..blas.gemm import kernel_multiples
+
+    mu, nu, ku = kernel_multiples(kernel.generated)
+    mc = 2 * math.lcm(mu, 4)
+    nc = 2 * math.lcm(nu, 2)
+    kc = 2 * math.lcm(ku, 8)
+    ldc = mc
+    a = rng.standard_normal(kc * mc)
+    b = rng.standard_normal(nc * kc)
+    c = np.zeros(ldc * nc)
+    ref = c.copy()
+    kernel(mc, nc, kc, a, b, c, ldc)
+    am = a.reshape(kc, mc)
+    for j in range(nc):
+        col = (b.reshape(nc, kc)[j, :] if layout == "dup"
+               else b.reshape(kc, nc)[:, j])
+        for i in range(mc):
+            ref[j * ldc + i] += am[:, i] @ col
+    return np.allclose(c, ref)
+
+
+def tune_kernel(kernel: str, arch: Optional[ArchSpec] = None,
+                layout: str = "dup",
+                candidates: Optional[List[Candidate]] = None,
+                batches: int = 5,
+                verbose: bool = False) -> TuningResult:
+    """Exhaustively evaluate the candidate space; return the winner."""
+    arch = arch or detect_host()
+    aug = Augem(arch=arch)
+    rng = np.random.default_rng(42)
+    kernel_key = "gemm_shuf" if (kernel == "gemm" and layout == "shuf") else kernel
+    if candidates is None:
+        candidates = candidates_for(kernel, arch,
+                                    **({"layout": layout} if kernel == "gemm" else {}))
+
+    n_vec = 1 << 16  # vector-kernel benchmark length (L2 resident)
+    x = rng.standard_normal(n_vec)
+    y = rng.standard_normal(n_vec)
+
+    trials: List[TrialResult] = []
+    best: Optional[Candidate] = None
+    best_gf = -1.0
+    for idx, cand in enumerate(candidates):
+        try:
+            gk = aug.generate_named(kernel_key, config=cand.config,
+                                    strategy=cand.strategy,
+                                    name=f"tune_{kernel}_{arch.name}_{idx}")
+            native = load_kernel(kernel_key, gk)
+            if kernel == "gemm":
+                if not _validate_gemm(native, layout, rng):
+                    raise RuntimeError("validation failed")
+                run, flops = _gemm_workload(rng)
+                m = measure(lambda: run(native), batches=batches)
+            elif kernel == "gemv":
+                mdim = 1 << 10
+                ncols = 64
+                a = rng.standard_normal(ncols * mdim)
+                yv = np.zeros(mdim)
+                xv = rng.standard_normal(ncols)
+                ref = a.reshape(ncols, mdim).T @ xv
+                native(mdim, ncols, a, mdim, xv, yv)
+                if not np.allclose(yv, ref):
+                    raise RuntimeError("validation failed")
+                flops = 2.0 * mdim * ncols
+                m = measure(lambda: native(mdim, ncols, a, mdim, xv, yv),
+                            batches=batches)
+            elif kernel == "axpy":
+                yv = y.copy()
+                native(n_vec, 1.5, x, yv)
+                if not np.allclose(yv, y + 1.5 * x):
+                    raise RuntimeError("validation failed")
+                flops = 2.0 * n_vec
+                m = measure(lambda: native(n_vec, 1.5, x, y), batches=batches)
+            elif kernel == "dot":
+                r = native(n_vec, x, y)
+                if not np.isclose(r, x @ y):
+                    raise RuntimeError("validation failed")
+                flops = 2.0 * n_vec
+                m = measure(lambda: native(n_vec, x, y), batches=batches)
+            else:
+                raise KeyError(f"unknown kernel {kernel!r}")
+            gf = m.gflops(flops)
+            trials.append(TrialResult(cand, gf))
+            if gf > best_gf:
+                best, best_gf = cand, gf
+        except Exception as exc:  # noqa: BLE001 - record and move on
+            trials.append(TrialResult(cand, -1.0, error=str(exc)[:120]))
+        if verbose:
+            print(trials[-1].candidate.describe(), "->",
+                  f"{trials[-1].gflops:.2f}" if trials[-1].gflops >= 0
+                  else trials[-1].error)
+    if best is None:
+        raise RuntimeError(f"every candidate failed for kernel {kernel!r}")
+    return TuningResult(kernel=kernel, arch=arch, best=best,
+                        best_gflops=best_gf, trials=trials)

@@ -1,0 +1,23 @@
+"""Micro-kernel comparison harness test (machinery, tiny rounds)."""
+
+import pytest
+
+from repro.bench.microkernel import microkernel_table
+
+from tests.conftest import needs_cc
+
+pytestmark = needs_cc
+
+
+def test_microkernel_table_structure():
+    t = microkernel_table(rounds=2)
+    assert t.table_id == "microkernel"
+    assert len(t.rows) == 3
+    names = [r[0] for r in t.rows]
+    assert any("AUGEM" in n for n in names)
+    assert any("OpenBLAS" in n for n in names)
+    # OpenBLAS's self-ratio is exactly 1
+    ob_row = next(r for r in t.rows if "OpenBLAS" in r[0])
+    assert float(ob_row[2]) == 1.0
+    # every contender produced a positive rate
+    assert all(float(r[1]) > 0 for r in t.rows)

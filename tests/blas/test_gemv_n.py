@@ -1,0 +1,80 @@
+"""Dot-form GEMV kernel (gemv_n) tests."""
+
+import numpy as np
+import pytest
+
+from repro.backend.runner import load_kernel
+from repro.core.framework import Augem
+from repro.emu.run import call_kernel
+from repro.isa.arch import PILEDRIVER
+
+from tests.conftest import needs_cc
+
+
+def test_gemv_n_templates(any_arch):
+    gk = Augem(arch=any_arch).generate_named("gemv_n")
+    counts = gk.template_counts
+    # the DOT machinery per row plus the scalar Y update
+    assert counts.get("mmUnrolledCOMP") == 1
+    assert counts.get("sumREDUCE") == 1
+    assert counts.get("mmSTORE") == 1
+
+
+def test_gemv_n_emulated(any_arch, rng):
+    gk = Augem(arch=any_arch).generate_named("gemv_n")
+    m, n, lda = 6, 32, 40
+    a = rng.standard_normal(m * lda)
+    x = rng.standard_normal(n)
+    y = rng.standard_normal(m)
+    ref = y + a.reshape(m, lda)[:, :n] @ x
+    call_kernel(gk, [m, n, a, lda, x, y])
+    np.testing.assert_allclose(y, ref, rtol=1e-12, atol=1e-10)
+
+
+def test_gemv_n_fma4_emulated(rng):
+    gk = Augem(arch=PILEDRIVER).generate_named("gemv_n")
+    assert "vfmaddpd" in gk.asm_text
+    m, n, lda = 4, 16, 16
+    a = rng.standard_normal(m * lda)
+    x = rng.standard_normal(n)
+    y = np.zeros(m)
+    call_kernel(gk, [m, n, a, lda, x, y])
+    assert np.allclose(y, a.reshape(m, lda)[:, :n] @ x)
+
+
+@needs_cc
+def test_gemv_n_native(native_arch, rng):
+    gk = Augem(arch=native_arch).generate_named(
+        "gemv_n", name=f"gvn_{native_arch.name}")
+    k = load_kernel("gemv_n", gk)
+    m, n, lda = 10, 64, 64
+    a = rng.standard_normal(m * lda)
+    x = rng.standard_normal(n)
+    y = rng.standard_normal(m)
+    ref = y + a.reshape(m, lda)[:, :n] @ x
+    k(m, n, a, lda, x, y)
+    assert np.allclose(y, ref)
+
+
+@needs_cc
+@pytest.mark.parametrize("m,n", [(1, 64), (7, 33), (50, 7), (64, 64)])
+def test_driver_no_trans_uses_dot_form(rng, m, n):
+    from repro.blas.gemv import make_gemv
+
+    g = make_gemv()
+    a = rng.standard_normal((m, n))
+    x = rng.standard_normal(n)
+    y = rng.standard_normal(m)
+    got = g(a, x, y, alpha=1.5, beta=0.5, trans=False)
+    assert np.allclose(got, 1.5 * a @ x + 0.5 * y)
+
+
+@needs_cc
+def test_driver_non_contiguous_falls_back(rng):
+    from repro.blas.gemv import make_gemv
+
+    g = make_gemv()
+    big = rng.standard_normal((40, 40))
+    a = big[::2, ::2]  # non-contiguous view
+    x = rng.standard_normal(20)
+    assert np.allclose(g(a, x, trans=False), a @ x)

@@ -1,0 +1,107 @@
+"""Level-3 routine tests (SYMM/SYRK/SYR2K/TRMM/TRSM on GEMM)."""
+
+import numpy as np
+import pytest
+
+from repro.blas import reference as R
+from repro.blas.api import AugemBLAS
+
+from tests.conftest import needs_cc
+
+pytestmark = needs_cc
+
+
+@pytest.fixture(scope="module")
+def blas():
+    return AugemBLAS()
+
+
+@pytest.mark.parametrize("n,k", [(8, 4), (64, 64), (70, 40), (130, 33)])
+def test_symm(blas, rng, n, k):
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, k))
+    assert np.allclose(blas.dsymm(a, b), R.ref_symm(a, b))
+
+
+def test_symm_only_lower_triangle_read(blas, rng):
+    n = 24
+    a = rng.standard_normal((n, n))
+    poisoned = a.copy()
+    poisoned[np.triu_indices(n, 1)] = 1e300  # garbage above the diagonal
+    b = rng.standard_normal((n, 8))
+    assert np.allclose(blas.dsymm(poisoned, b), R.ref_symm(a, b))
+
+
+def test_symm_alpha_beta(blas, rng):
+    a = rng.standard_normal((16, 16))
+    b = rng.standard_normal((16, 8))
+    c = rng.standard_normal((16, 8))
+    got = blas.dsymm(a, b, c, alpha=1.5, beta=2.0)
+    assert np.allclose(got, R.ref_symm(a, b, c, 1.5, 2.0))
+
+
+@pytest.mark.parametrize("n,k", [(16, 8), (64, 64), (65, 130), (100, 30)])
+def test_syrk(blas, rng, n, k):
+    a = rng.standard_normal((n, k))
+    got = blas.dsyrk(a)
+    ref = R.ref_syrk(a)
+    assert np.allclose(np.tril(got), np.tril(ref))
+
+
+def test_syrk_beta(blas, rng):
+    a = rng.standard_normal((20, 10))
+    c = rng.standard_normal((20, 20))
+    got = blas.dsyrk(a, c, alpha=0.5, beta=2.0)
+    ref = R.ref_syrk(a, c, 0.5, 2.0)
+    assert np.allclose(np.tril(got), np.tril(ref))
+
+
+@pytest.mark.parametrize("n,k", [(16, 8), (70, 40), (96, 96)])
+def test_syr2k(blas, rng, n, k):
+    a = rng.standard_normal((n, k))
+    b = rng.standard_normal((n, k))
+    got = blas.dsyr2k(a, b)
+    ref = R.ref_syr2k(a, b)
+    assert np.allclose(np.tril(got), np.tril(ref))
+
+
+@pytest.mark.parametrize("n,k", [(8, 4), (64, 16), (70, 40), (129, 65)])
+def test_trmm(blas, rng, n, k):
+    l = np.tril(rng.standard_normal((n, n))) + 4 * np.eye(n)
+    b = rng.standard_normal((n, k))
+    assert np.allclose(blas.dtrmm(l, b), R.ref_trmm(l, b))
+
+
+def test_trmm_does_not_mutate_input(blas, rng):
+    l = np.tril(rng.standard_normal((8, 8))) + np.eye(8)
+    b = rng.standard_normal((8, 4))
+    b0 = b.copy()
+    blas.dtrmm(l, b)
+    assert np.array_equal(b, b0)
+
+
+@pytest.mark.parametrize("n,k", [(8, 4), (64, 16), (70, 40), (129, 65)])
+def test_trsm(blas, rng, n, k):
+    l = np.tril(rng.standard_normal((n, n))) + 4 * np.eye(n)
+    b = rng.standard_normal((n, k))
+    got = blas.dtrsm(l, b)
+    assert np.allclose(got, R.ref_trsm(l, b))
+
+
+def test_trsm_trmm_inverse_relationship(blas, rng):
+    n, k = 48, 12
+    l = np.tril(rng.standard_normal((n, n))) + 5 * np.eye(n)
+    b = rng.standard_normal((n, k))
+    assert np.allclose(blas.dtrsm(l, blas.dtrmm(l, b)), b)
+
+
+def test_trmm_alpha(blas, rng):
+    l = np.tril(rng.standard_normal((10, 10))) + np.eye(10)
+    b = rng.standard_normal((10, 3))
+    assert np.allclose(blas.dtrmm(l, b, alpha=2.0), 2.0 * R.ref_trmm(l, b))
+
+
+def test_trsm_alpha(blas, rng):
+    l = np.tril(rng.standard_normal((10, 10))) + 5 * np.eye(10)
+    b = rng.standard_normal((10, 3))
+    assert np.allclose(blas.dtrsm(l, b, alpha=3.0), 3.0 * R.ref_trsm(l, b))

@@ -1,0 +1,98 @@
+"""Panel-packing tests including hypothesis round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas.packing import (
+    pack_a,
+    pack_b_dup,
+    pack_b_shuf,
+    unpack_a,
+    unpack_b_dup,
+    unpack_b_shuf,
+)
+
+
+def test_pack_a_layout():
+    block = np.arange(6.0).reshape(2, 3)  # 2 rows x 3 k
+    packed = pack_a(block, 2, 3)
+    # A[l*mc + i] == block[i, l]
+    for l in range(3):
+        for i in range(2):
+            assert packed[l * 2 + i] == block[i, l]
+
+
+def test_pack_b_dup_layout():
+    block = np.arange(6.0).reshape(3, 2)  # 3 k x 2 cols
+    packed = pack_b_dup(block, 3, 2)
+    for j in range(2):
+        for l in range(3):
+            assert packed[j * 3 + l] == block[l, j]
+
+
+def test_pack_b_shuf_layout():
+    block = np.arange(6.0).reshape(3, 2)
+    packed = pack_b_shuf(block, 3, 2)
+    for l in range(3):
+        for j in range(2):
+            assert packed[l * 2 + j] == block[l, j]
+
+
+def test_zero_padding():
+    block = np.ones((2, 2))
+    packed = pack_a(block, 4, 3)
+    assert packed.shape == (12,)
+    assert packed.sum() == 4.0  # only the real elements are non-zero
+
+
+def test_oversize_block_rejected():
+    with pytest.raises(ValueError):
+        pack_a(np.ones((5, 2)), 4, 4)
+    with pytest.raises(ValueError):
+        pack_b_dup(np.ones((5, 2)), 4, 4)
+    with pytest.raises(ValueError):
+        pack_b_shuf(np.ones((2, 5)), 4, 4)
+
+
+def test_non_contiguous_input_accepted():
+    big = np.arange(48.0).reshape(6, 8)
+    view = big[::2, ::2]  # non-contiguous
+    packed = pack_a(view, 3, 4)
+    assert np.array_equal(unpack_a(packed, 3, 4), view)
+
+
+@st.composite
+def block_and_panel(draw):
+    rows = draw(st.integers(1, 6))
+    cols = draw(st.integers(1, 6))
+    pad_r = draw(st.integers(0, 3))
+    pad_c = draw(st.integers(0, 3))
+    data = draw(st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=rows * cols, max_size=rows * cols))
+    return (np.array(data).reshape(rows, cols), rows + pad_r, cols + pad_c)
+
+
+@given(block_and_panel())
+@settings(max_examples=50, deadline=None)
+def test_pack_a_round_trip(args):
+    block, mc, kc = args
+    packed = pack_a(block, mc, kc)
+    restored = unpack_a(packed, mc, kc)
+    assert np.array_equal(restored[: block.shape[0], : block.shape[1]], block)
+
+
+@given(block_and_panel())
+@settings(max_examples=50, deadline=None)
+def test_pack_b_round_trips(args):
+    block, kc, nc = args
+    assert np.array_equal(
+        unpack_b_dup(pack_b_dup(block, kc, nc), kc, nc)[: block.shape[0],
+                                                        : block.shape[1]],
+        block)
+    assert np.array_equal(
+        unpack_b_shuf(pack_b_shuf(block, kc, nc), kc, nc)[: block.shape[0],
+                                                          : block.shape[1]],
+        block)

@@ -1,0 +1,71 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import subprocess
+
+import numpy as np
+import pytest
+
+from repro.backend.compiler import have_native_toolchain
+from repro.isa.arch import GENERIC_SSE, HASWELL, PILEDRIVER, SANDYBRIDGE, detect_host
+
+HAVE_CC = have_native_toolchain()
+
+needs_cc = pytest.mark.skipif(not HAVE_CC, reason="no C compiler available")
+
+
+def host_runnable_archs():
+    """Arch specs whose generated code the host CPU can execute natively."""
+    host = detect_host()
+    out = [GENERIC_SSE]
+    if host.simd == "avx":
+        out.append(SANDYBRIDGE)
+    if host.fma == "fma3":
+        out.append(HASWELL)
+    return out
+
+
+ALL_ARCH_SPECS = [GENERIC_SSE, SANDYBRIDGE, PILEDRIVER, HASWELL]
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=ALL_ARCH_SPECS, ids=lambda a: a.name)
+def any_arch(request):
+    return request.param
+
+
+@pytest.fixture(params=host_runnable_archs(), ids=lambda a: a.name)
+def native_arch(request):
+    return request.param
+
+
+# ---------------------------------------------------------------------------
+# GEMM reference helpers shared across tests (packed-panel layouts)
+# ---------------------------------------------------------------------------
+
+
+def gemm_ref_packed(a_packed, b_packed, c, mc, nc, kc, ldc, layout="dup"):
+    """Reference semantics of the packed micro-kernel on flat buffers."""
+    am = a_packed.reshape(kc, mc)  # A[l, i]
+    out = c.copy()
+    for j in range(nc):
+        if layout == "dup":
+            col = b_packed.reshape(nc, kc)[j, :]
+        else:
+            col = b_packed.reshape(kc, nc)[:, j]
+        for i in range(mc):
+            out[j * ldc + i] += am[:, i] @ col
+    return out
+
+
+def random_gemm_problem(rng, mc=16, nc=8, kc=32, ldc=None, layout="dup"):
+    ldc = ldc or mc
+    a = rng.standard_normal(kc * mc)
+    b = rng.standard_normal(nc * kc)
+    c = rng.standard_normal(ldc * nc)
+    return a, b, c, (mc, nc, kc, ldc)

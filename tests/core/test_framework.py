@@ -1,0 +1,85 @@
+"""Framework facade tests."""
+
+import pytest
+
+from repro.core.framework import Augem, default_config
+from repro.isa.arch import GENERIC_SSE, HASWELL, PILEDRIVER, SANDYBRIDGE
+from repro.isa.instructions import Instr
+
+
+@pytest.mark.parametrize("kernel", ["gemm", "gemm_shuf", "gemv", "axpy", "dot"])
+def test_generate_named_all_kernels(kernel, any_arch):
+    gk = Augem(arch=any_arch).generate_named(kernel)
+    assert gk.asm_text.strip().endswith(f".size {gk.name}, .-{gk.name}")
+    assert any(isinstance(i, Instr) for i in gk.items)
+    assert gk.low_level_c
+
+
+def test_fma_used_only_when_available():
+    for arch, expect in ((HASWELL, True), (SANDYBRIDGE, False)):
+        gk = Augem(arch=arch).generate_named("gemm")
+        has_fma = "vfmadd" in gk.asm_text
+        assert has_fma == expect
+
+
+def test_piledriver_uses_fma4():
+    gk = Augem(arch=PILEDRIVER).generate_named("gemm")
+    assert "vfmaddpd" in gk.asm_text
+
+
+def test_sse_kernel_has_no_avx():
+    gk = Augem(arch=GENERIC_SSE).generate_named("gemm")
+    for line in gk.asm_text.splitlines():
+        assert "\tv" not in line, f"AVX instruction on SSE target: {line}"
+
+
+def test_template_counts_exposed():
+    gk = Augem(arch=HASWELL).generate_named("gemm")
+    counts = gk.template_counts
+    assert counts.get("mmUnrolledCOMP", 0) >= 1
+    assert counts.get("mmUnrolledSTORE", 0) >= 1
+
+
+def test_describe_mentions_config_and_strategy():
+    gk = Augem(arch=HASWELL).generate_named("dot")
+    text = gk.describe()
+    assert "dot" in gk.name or "ddot" in gk.name
+    assert "strategy" in text and "templates" in text
+
+
+def test_custom_symbol_name():
+    gk = Augem(arch=HASWELL).generate_named("axpy", name="my_axpy")
+    assert gk.name == "my_axpy"
+    assert ".globl my_axpy" in gk.asm_text
+
+
+def test_default_config_covers_all_kernels():
+    for kernel in ("gemm", "gemm_shuf", "gemv", "axpy", "dot"):
+        for arch in (HASWELL, GENERIC_SSE):
+            cfg = default_config(kernel, arch)
+            assert cfg is not None
+    with pytest.raises(KeyError):
+        default_config("lu", HASWELL)
+
+
+def test_schedule_flag_changes_order_not_content():
+    gk_sched = Augem(arch=HASWELL, schedule=True).generate_named("gemm")
+    gk_plain = Augem(arch=HASWELL, schedule=False).generate_named("gemm")
+    def mnem_bag(gk):
+        return sorted(i.mnemonic for i in gk.items if isinstance(i, Instr))
+    assert mnem_bag(gk_sched) == mnem_bag(gk_plain)
+
+
+def test_generate_accepts_custom_source():
+    src = """
+    void my_copy(long n, double* x, double* y) {
+        long i;
+        for (i = 0; i < n; i += 1) {
+            y[i] += x[i] * 1.0;
+        }
+    }
+    """
+    from repro.transforms.pipeline import OptimizationConfig
+
+    gk = Augem(arch=HASWELL).generate(src, OptimizationConfig())
+    assert gk.name == "my_copy"

@@ -1,0 +1,118 @@
+"""mvSCALE extension-template tests — demonstrates the paper's §7 claim
+that new templates can be added for additional routines."""
+
+import numpy as np
+import pytest
+
+from repro.backend.runner import load_kernel
+from repro.core.framework import Augem
+from repro.core.identifier import identify_templates
+from repro.core.templates import match_mv_scale
+from repro.core.vectorize import plan_vectorization
+from repro.emu.run import call_kernel
+from repro.isa.arch import HASWELL, PILEDRIVER
+from repro.blas.kernels import SCAL_SIMPLE_C
+from repro.poet.parser import parse_function
+from repro.transforms.pipeline import OptimizationConfig, optimize_c_kernel
+
+from tests.conftest import needs_cc
+
+
+def stmts_of(body):
+    return parse_function("void f() { " + body + " }").body.stmts
+
+
+def test_matcher_accepts_canonical_shape():
+    m = match_mv_scale(stmts_of("""
+        tmp0 = ptr_X[2];
+        tmp0 = tmp0 * alpha;
+        ptr_X[2] = tmp0;
+    """), 0)
+    assert m is not None
+    assert (m.x_ptr, m.x_off, m.scal, m.tmp) == ("ptr_X", 2, "alpha", "tmp0")
+
+
+def test_matcher_rejects_store_elsewhere():
+    assert match_mv_scale(stmts_of("""
+        tmp0 = ptr_X[2];
+        tmp0 = tmp0 * alpha;
+        ptr_X[3] = tmp0;
+    """), 0) is None
+
+
+def test_scalar_replacement_produces_shape():
+    fn = optimize_c_kernel(SCAL_SIMPLE_C, OptimizationConfig())
+    fn, regions = identify_templates(fn)
+    assert [r.template for r in regions] == ["mvSCALE"]
+
+
+def test_unrolled_scale_region_and_plan():
+    cfg = OptimizationConfig(unroll=(("i", 8),))
+    fn = optimize_c_kernel(SCAL_SIMPLE_C, cfg)
+    fn, regions = identify_templates(fn)
+    assert [r.template for r in regions] == ["mvUnrolledSCALE"]
+    plan = plan_vectorization(regions, HASWELL, "auto")
+    assert plan.plan_for(regions[0]).strategy == "scale"
+    assert "alpha" in plan.broadcast_vars
+
+
+def test_non_multiple_unroll_falls_scalar():
+    cfg = OptimizationConfig(unroll=(("i", 3),))
+    fn = optimize_c_kernel(SCAL_SIMPLE_C, cfg)
+    fn, regions = identify_templates(fn)
+    plan = plan_vectorization(regions, HASWELL, "auto")
+    assert plan.plan_for(regions[0]).strategy == "scalar"
+
+
+@pytest.mark.parametrize("strategy", ["auto", "scalar"])
+def test_scal_emulated_all_arches(any_arch, rng, strategy):
+    gk = Augem(arch=any_arch).generate_named("scal", strategy=strategy)
+    n = 32
+    x = rng.standard_normal(n)
+    ref = -2.25 * x
+    call_kernel(gk, [n, -2.25, x])
+    np.testing.assert_allclose(x, ref, rtol=1e-15)
+
+
+def test_scal_fma4_arch_emulated(rng):
+    gk = Augem(arch=PILEDRIVER).generate_named("scal")
+    n = 64
+    x = rng.standard_normal(n)
+    ref = 0.5 * x
+    call_kernel(gk, [n, 0.5, x])
+    assert np.allclose(x, ref)
+
+
+@needs_cc
+def test_scal_native(native_arch, rng):
+    gk = Augem(arch=native_arch).generate_named(
+        "scal", name=f"scal_t_{native_arch.name}")
+    k = load_kernel("scal", gk)
+    n = 160
+    x = rng.standard_normal(n)
+    ref = 3.0 * x
+    k(n, 3.0, x)
+    assert np.allclose(x, ref)
+
+
+@needs_cc
+@pytest.mark.parametrize("n", [1, 7, 16, 17, 100])
+def test_dscal_driver_tails(rng, n):
+    from repro.blas.level1 import make_scal
+
+    scal = make_scal()
+    x = rng.standard_normal(n)
+    ref = 1.75 * x
+    scal(1.75, x)
+    assert np.allclose(x, ref)
+
+
+@needs_cc
+def test_dscal_blas_api(rng):
+    from repro.blas import AugemBLAS
+
+    blas = AugemBLAS()
+    x = rng.standard_normal(50)
+    ref = -0.5 * x
+    blas.dscal(-0.5, x)
+    assert np.allclose(x, ref)

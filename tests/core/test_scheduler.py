@@ -1,0 +1,119 @@
+"""Instruction-scheduler tests, including an emulator-backed property test:
+any schedule the pass produces must leave machine state unchanged."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import schedule_block, schedule_items
+from repro.emu.machine import Machine
+from repro.emu.memory import Memory
+from repro.isa.instructions import Instr, Label, instr
+from repro.isa.operands import Imm, LabelRef, Mem
+from repro.isa.registers import GP, xmm
+
+RAX, RBX, RCX = GP["rax"], GP["rbx"], GP["rcx"]
+
+
+def test_true_dependence_preserved():
+    block = [
+        instr("mov", Imm(1), RAX),
+        instr("add", RAX, RBX),
+    ]
+    out = schedule_block(block)
+    assert out.index(block[0]) < out.index(block[1])
+
+
+def test_independent_loads_float_above_arithmetic():
+    load = instr("vmovupd", Mem(base=RAX), xmm(1).ymm)
+    arith = instr("vaddpd", xmm(2).ymm, xmm(3).ymm, xmm(4).ymm)
+    dep = instr("vmulpd", xmm(1).ymm, xmm(1).ymm, xmm(5).ymm)
+    out = schedule_block([arith, load, dep])
+    # the load feeds a multiply: its critical path is longer, so it leads
+    assert out[0] is load
+
+
+def test_stores_keep_program_order():
+    s1 = instr("vmovupd", xmm(0).ymm, Mem(base=RAX))
+    s2 = instr("vmovupd", xmm(1).ymm, Mem(base=RBX))
+    out = schedule_block([s1, s2])
+    assert out == [s1, s2]
+
+
+def test_load_never_crosses_store():
+    store = instr("vmovupd", xmm(0).ymm, Mem(base=RAX))
+    load = instr("vmovupd", Mem(base=RBX), xmm(1).ymm)
+    out = schedule_block([store, load])
+    assert out == [store, load]
+
+
+def test_anti_dependence_preserved():
+    use = instr("add", RAX, RBX)  # reads rax
+    redef = instr("mov", Imm(9), RAX)  # writes rax
+    out = schedule_block([use, redef])
+    assert out == [use, redef]
+
+
+def test_flag_chain_preserved():
+    c = instr("cmp", RAX, RBX)
+    a = instr("add", Imm(1), RCX)  # writes flags
+    out = schedule_block([a, c])
+    assert out.index(a) < out.index(c)
+
+
+def test_branches_block_scheduling():
+    items = [instr("cmp", RAX, RBX), instr("jl", LabelRef("t"))]
+    assert schedule_block(items) == items
+
+
+def test_schedule_items_respects_labels():
+    items = [
+        instr("mov", Imm(1), RAX),
+        Label("L"),
+        instr("mov", Imm(2), RBX),
+    ]
+    out = schedule_items(items)
+    assert isinstance(out[1], Label)
+
+
+# -- property test: scheduling never changes observable semantics --------------
+
+_REG_NAMES = ["rax", "rbx", "rcx", "rdx", "rsi", "rdi", "r8"]
+
+
+@st.composite
+def straight_line_block(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    block = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["mov_imm", "mov", "add", "sub", "imul"]))
+        dst = GP[draw(st.sampled_from(_REG_NAMES))]
+        if kind == "mov_imm":
+            block.append(instr("mov", Imm(draw(st.integers(-100, 100))), dst))
+        else:
+            src = GP[draw(st.sampled_from(_REG_NAMES))]
+            block.append(instr(kind if kind != "mov" else "mov", src, dst))
+    return block
+
+
+@given(straight_line_block())
+@settings(max_examples=60, deadline=None)
+def test_scheduled_block_is_semantically_equal(block):
+    def final_state(instrs):
+        mem = Memory(1 << 12)
+        m = Machine(list(instrs) + [], mem, max_steps=10_000)
+        for i, name in enumerate(_REG_NAMES):
+            m.state.gp[name] = i + 1
+        pc = 0
+        while pc < len(m.items):
+            it = m.items[pc]
+            pc = m._exec(it, pc)
+        return {r: m.state.gp.get(r, 0) for r in _REG_NAMES}
+
+    assert final_state(schedule_block(block)) == final_state(block)
+
+
+def test_scheduler_never_drops_instructions():
+    block = [instr("mov", Imm(k), RAX) for k in range(10)]
+    assert len(schedule_block(block)) == 10

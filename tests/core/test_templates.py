@@ -1,0 +1,127 @@
+"""Base-template match tests (paper Fig. 3 shapes)."""
+
+from repro.core.templates import match_mm_comp, match_mm_store, match_mv_comp
+from repro.poet.parser import parse_function
+
+
+def stmts_of(body_src: str):
+    fn = parse_function("void f() { " + body_src + " }")
+    return fn.body.stmts
+
+
+MM_COMP = """
+tmp0 = ptr_A[0];
+tmp1 = ptr_B[0];
+tmp2 = tmp0 * tmp1;
+res0 = res0 + tmp2;
+"""
+
+MM_STORE = """
+tmp0 = ptr_C[1];
+res0 = res0 + tmp0;
+ptr_C[1] = res0;
+"""
+
+MV_COMP = """
+tmp0 = ptr_A[0];
+tmp1 = ptr_B[0];
+tmp0 = tmp0 * scal;
+tmp1 = tmp1 + tmp0;
+ptr_B[0] = tmp1;
+"""
+
+
+def test_mm_comp_matches():
+    m = match_mm_comp(stmts_of(MM_COMP), 0)
+    assert m is not None
+    assert (m.a_ptr, m.a_off) == ("ptr_A", 0)
+    assert (m.b_ptr, m.b_off) == ("ptr_B", 0)
+    assert m.res == "res0"
+    assert m.tmps == ("tmp0", "tmp1", "tmp2")
+
+
+def test_mm_comp_rejects_reused_product_temp():
+    # product written into one of the load temps is the mvCOMP shape
+    src = """
+    tmp0 = ptr_A[0];
+    tmp1 = ptr_B[0];
+    tmp0 = tmp0 * tmp1;
+    res0 = res0 + tmp0;
+    """
+    assert match_mm_comp(stmts_of(src), 0) is None
+
+
+def test_mm_comp_rejects_wrong_accumulate():
+    src = """
+    tmp0 = ptr_A[0];
+    tmp1 = ptr_B[0];
+    tmp2 = tmp0 * tmp1;
+    res0 = other + tmp2;
+    """
+    assert match_mm_comp(stmts_of(src), 0) is None
+
+
+def test_mm_comp_symbolic_index_allowed():
+    src = MM_COMP.replace("ptr_A[0]", "A[i * M + 1]")
+    m = match_mm_comp(stmts_of(src), 0)
+    assert m is not None and m.a_off is None and m.a_idx is not None
+
+
+def test_mm_comp_short_window():
+    assert match_mm_comp(stmts_of("x = 1.0;"), 0) is None
+
+
+def test_mm_store_matches():
+    m = match_mm_store(stmts_of(MM_STORE), 0)
+    assert m is not None
+    assert (m.c_ptr, m.c_off, m.res, m.tmp) == ("ptr_C", 1, "res0", "tmp0")
+
+
+def test_mm_store_requires_same_index_on_store():
+    src = """
+    tmp0 = ptr_C[1];
+    res0 = res0 + tmp0;
+    ptr_C[2] = res0;
+    """
+    assert match_mm_store(stmts_of(src), 0) is None
+
+
+def test_mm_store_rejects_degenerate_same_names():
+    src = """
+    res0 = ptr_C[1];
+    res0 = res0 + res0;
+    ptr_C[1] = res0;
+    """
+    assert match_mm_store(stmts_of(src), 0) is None
+
+
+def test_mv_comp_matches():
+    m = match_mv_comp(stmts_of(MV_COMP), 0)
+    assert m is not None
+    assert (m.a_ptr, m.a_off) == ("ptr_A", 0)
+    assert (m.b_ptr, m.b_off) == ("ptr_B", 0)
+    assert m.scal == "scal"
+    assert m.tmps == ("tmp0", "tmp1")
+
+
+def test_mv_comp_store_must_round_trip_same_element():
+    src = MV_COMP.replace("ptr_B[0] = tmp1;", "ptr_B[1] = tmp1;")
+    assert match_mv_comp(stmts_of(src), 0) is None
+
+
+def test_mv_comp_scal_must_differ_from_temps():
+    src = """
+    tmp0 = ptr_A[0];
+    tmp1 = ptr_B[0];
+    tmp0 = tmp0 * tmp1;
+    tmp1 = tmp1 + tmp0;
+    ptr_B[0] = tmp1;
+    """
+    assert match_mv_comp(stmts_of(src), 0) is None
+
+
+def test_match_at_nonzero_position():
+    src = "x = 1.0;" + MM_COMP
+    stmts = stmts_of(src)
+    assert match_mm_comp(stmts, 0) is None
+    assert match_mm_comp(stmts, 1) is not None

@@ -1,0 +1,124 @@
+"""Vectorization planning tests (paper §3.4-§3.6 strategies)."""
+
+import pytest
+
+from repro.blas.kernels import (
+    AXPY_SIMPLE_C,
+    DOT_SIMPLE_C,
+    GEMM_SHUF_SIMPLE_C,
+    GEMM_SIMPLE_C,
+    GEMV_SIMPLE_C,
+)
+from repro.core.identifier import identify_templates
+from repro.core.vectorize import plan_vectorization
+from repro.isa.arch import GENERIC_SSE, HASWELL
+from repro.transforms.pipeline import OptimizationConfig, optimize_c_kernel
+
+
+def plan_for(src, cfg, arch, strategy="auto"):
+    fn = optimize_c_kernel(src, cfg)
+    fn, regions = identify_templates(fn)
+    return plan_vectorization(regions, arch, strategy), regions
+
+
+def strategies(plan, regions):
+    return {r.template: plan.plan_for(r).strategy for r in regions}
+
+
+def test_gemm_avx_uses_vdup():
+    cfg = OptimizationConfig(unroll_jam=(("j", 2), ("i", 8)))
+    plan, regions = plan_for(GEMM_SIMPLE_C, cfg, HASWELL)
+    s = strategies(plan, regions)
+    assert s["mmUnrolledCOMP"] == "vdup"
+    assert s["mmUnrolledSTORE"] == "vstore"
+
+
+def test_gemm_accumulator_packs_by_column():
+    cfg = OptimizationConfig(unroll_jam=(("j", 2), ("i", 8)))
+    plan, regions = plan_for(GEMM_SIMPLE_C, cfg, HASWELL)
+    packs = {id(p): p for p in plan.pack_of.values()}.values()
+    assert len(packs) == 4  # 2 B lanes x (8/4) A chunks
+    for p in packs:
+        assert len(p.members) == 4
+        assert p.cls == "C"  # accumulators correlate to C (paper §3.1)
+
+
+def test_gemm_insufficient_unroll_stays_scalar():
+    cfg = OptimizationConfig(unroll_jam=(("j", 2), ("i", 2)))
+    plan, regions = plan_for(GEMM_SIMPLE_C, cfg, HASWELL)  # 2 < 4 lanes
+    s = strategies(plan, regions)
+    assert s["mmUnrolledCOMP"] == "scalar"
+    assert s["mmUnrolledSTORE"] == "scalar"
+    assert plan.pack_of == {}
+
+
+def test_shuf_method_planned_on_sse_shuf_layout():
+    cfg = OptimizationConfig(unroll_jam=(("j", 2), ("i", 2)))
+    plan, regions = plan_for(GEMM_SHUF_SIMPLE_C, cfg, GENERIC_SSE,
+                             strategy="shuf")
+    s = strategies(plan, regions)
+    assert s["mmUnrolledCOMP"] == "shuf"
+    layouts = {p.layout for p in plan.pack_of.values()}
+    assert layouts == {"shuf"}
+    assert s["mmUnrolledSTORE"] == "vstore"
+
+
+def test_shuf_not_chosen_under_auto():
+    cfg = OptimizationConfig(unroll_jam=(("j", 2), ("i", 2)))
+    plan, regions = plan_for(GEMM_SHUF_SIMPLE_C, cfg, GENERIC_SSE, "auto")
+    s = strategies(plan, regions)
+    assert s["mmUnrolledCOMP"] == "vdup"
+
+
+def test_scalar_strategy_disables_everything():
+    cfg = OptimizationConfig(unroll_jam=(("j", 2), ("i", 8)))
+    plan, regions = plan_for(GEMM_SIMPLE_C, cfg, HASWELL, "scalar")
+    assert plan.region_plans == {}
+
+
+def test_dot_paired_plan():
+    cfg = OptimizationConfig(unroll=(("i", 8),), split=(("i", "res", 8),))
+    plan, regions = plan_for(DOT_SIMPLE_C, cfg, HASWELL)
+    s = strategies(plan, regions)
+    assert s["mmUnrolledCOMP"] == "paired"
+    assert s["sumREDUCE"] == "hreduce"
+    assert len({id(p) for p in plan.pack_of.values()}) == 2  # 8 parts / 4 lanes
+
+
+def test_dot_partial_split_blocks_hreduce():
+    # splitting 2-ways on a 4-lane machine cannot form full packs
+    cfg = OptimizationConfig(unroll=(("i", 2),), split=(("i", "res", 2),))
+    plan, regions = plan_for(DOT_SIMPLE_C, cfg, HASWELL)
+    s = strategies(plan, regions)
+    assert s["sumREDUCE"] == "scalar"
+
+
+def test_axpy_mv_plan_broadcasts_alpha():
+    cfg = OptimizationConfig(unroll=(("i", 8),))
+    plan, regions = plan_for(AXPY_SIMPLE_C, cfg, HASWELL)
+    s = strategies(plan, regions)
+    assert s["mvUnrolledCOMP"] == "mv"
+    assert "alpha" in plan.broadcast_vars
+
+
+def test_gemv_mv_plan_broadcasts_scal():
+    cfg = OptimizationConfig(unroll=(("j", 8),))
+    plan, regions = plan_for(GEMV_SIMPLE_C, cfg, HASWELL)
+    assert "scal" in plan.broadcast_vars
+
+
+def test_mv_non_multiple_unroll_stays_scalar():
+    cfg = OptimizationConfig(unroll=(("i", 3),))
+    plan, regions = plan_for(AXPY_SIMPLE_C, cfg, HASWELL)
+    s = strategies(plan, regions)
+    assert s.get("mvUnrolledCOMP", "scalar") == "scalar"
+
+
+def test_repair_pass_consistency_after_l_unroll():
+    """Both l-copy grids must agree: either both vectorize or neither."""
+    cfg = OptimizationConfig(unroll_jam=(("j", 2), ("i", 8)),
+                             unroll=(("l", 2),))
+    plan, regions = plan_for(GEMM_SIMPLE_C, cfg, HASWELL)
+    comp_strategies = {plan.plan_for(r).strategy for r in regions
+                       if r.template == "mmUnrolledCOMP"}
+    assert len(comp_strategies) == 1

@@ -1,0 +1,69 @@
+"""Emulated-memory tests."""
+
+import numpy as np
+import pytest
+
+from repro.emu.memory import EmuMemoryError, Memory
+
+
+def test_bind_and_read_back():
+    mem = Memory(1 << 14)
+    a = np.array([1.5, 2.5, 3.5])
+    addr = mem.bind(a)
+    assert addr % 64 == 0 or (addr - Memory.BASE) % 64 == 0
+    got = mem.read_f64(addr, 3)
+    assert np.array_equal(got, a)
+
+
+def test_sync_back_propagates_mutations():
+    mem = Memory(1 << 14)
+    a = np.zeros(4)
+    addr = mem.bind(a)
+    mem.write_f64(addr + 8, np.array([9.0]))
+    mem.sync_back()
+    assert a[1] == 9.0 and a[0] == 0.0
+
+
+def test_bind_preserves_distinct_arrays():
+    mem = Memory(1 << 14)
+    a = np.array([1.0])
+    b = np.array([2.0])
+    aa, bb = mem.bind(a), mem.bind(b)
+    assert aa != bb
+    assert mem.read_f64(aa)[0] == 1.0
+    assert mem.read_f64(bb)[0] == 2.0
+
+
+def test_u64_roundtrip_and_wrap():
+    mem = Memory(1 << 12)
+    addr = mem.alloc(16)
+    mem.write_u64(addr, -1)
+    assert mem.read_u64(addr) == 2**64 - 1
+
+
+def test_out_of_range_access_raises():
+    mem = Memory(1 << 12)
+    with pytest.raises(EmuMemoryError):
+        mem.read_u64(Memory.BASE - 4096)
+    with pytest.raises(EmuMemoryError):
+        mem.read_f64(Memory.BASE + (1 << 12), 1)
+
+
+def test_arena_exhaustion():
+    mem = Memory(1 << 10)
+    with pytest.raises(EmuMemoryError):
+        mem.bind(np.zeros(1 << 12))
+
+
+def test_non_contiguous_rejected():
+    mem = Memory(1 << 12)
+    a = np.zeros((4, 4))[:, ::2]
+    with pytest.raises(EmuMemoryError):
+        mem.bind(a)
+
+
+def test_alloc_is_aligned_and_disjoint():
+    mem = Memory(1 << 12)
+    a = mem.alloc(24)
+    b = mem.alloc(24)
+    assert b >= a + 24

@@ -1,0 +1,82 @@
+"""ABI-level emulator call tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import Augem
+from repro.emu.run import call_items, call_kernel
+from repro.isa.arch import HASWELL, PILEDRIVER
+from repro.isa.instructions import Label, instr
+from repro.isa.operands import Imm, LabelRef, Mem
+from repro.isa.registers import GP, xmm
+
+
+def test_minimal_function_returns():
+    # a function that writes arg0 into xmm0 and returns
+    items = [
+        instr("push", GP["rbx"]),
+        instr("pop", GP["rbx"]),
+        instr("ret"),
+    ]
+    assert call_items(items, []) == 0.0
+
+
+def test_int_args_in_registers():
+    items = [
+        instr("mov", GP["rdi"], GP["rax"]),
+        instr("add", GP["rsi"], GP["rax"]),
+        instr("mov", GP["rax"], Mem(base=GP["rdx"])),
+        instr("ret"),
+    ]
+    out = np.zeros(1)
+    call_items(items, [2, 3, out])
+    assert out.view(np.int64)[0] == 5
+
+
+def test_float_arg_in_xmm0():
+    items = [
+        instr("movsd", xmm(0), Mem(base=GP["rdi"])),
+        instr("ret"),
+    ]
+    out = np.zeros(1)
+    call_items(items, [out, 4.25])
+    assert out[0] == 4.25
+
+
+def test_seventh_int_arg_on_stack():
+    items = [
+        instr("mov", Mem(base=GP["rsp"], disp=8), GP["rax"]),
+        instr("mov", GP["rax"], Mem(base=GP["rdi"])),
+        instr("ret"),
+    ]
+    out = np.zeros(1)
+    call_items(items, [out, 1, 2, 3, 4, 5, 77])
+    assert out.view(np.int64)[0] == 77
+
+
+def test_array_mutations_synced_back():
+    items = [
+        instr("movsd", Mem(base=GP["rdi"]), xmm(0)),
+        instr("addsd", xmm(0), xmm(0)),
+        instr("movsd", xmm(0), Mem(base=GP["rdi"], disp=8)),
+        instr("ret"),
+    ]
+    a = np.array([1.5, 0.0])
+    call_items(items, [a])
+    assert a[1] == 3.0
+
+
+def test_bad_array_dtype_rejected():
+    with pytest.raises(TypeError):
+        call_items([instr("ret")], [np.zeros(4, dtype=np.float32)])
+
+
+def test_call_kernel_runs_piledriver_fma4_code():
+    """The whole point of the emulator: validate code the host can't run."""
+    gk = Augem(arch=PILEDRIVER).generate_named("axpy")
+    assert "vfmaddpd" in gk.asm_text
+    n = 16
+    x = np.arange(n, dtype=np.float64)
+    y = np.ones(n)
+    call_kernel(gk, [n, 2.0, x, y])
+    assert np.allclose(y, 1.0 + 2.0 * np.arange(n))

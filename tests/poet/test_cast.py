@@ -1,0 +1,116 @@
+"""AST node and helper tests."""
+
+import pytest
+
+from repro.poet import cast as C
+from repro.poet.parser import parse_expr, parse_function
+
+
+# -- CType ------------------------------------------------------------------
+
+def test_ctype_str():
+    assert str(C.CType("double", 1)) == "double*"
+    assert str(C.LONG) == "long"
+
+
+def test_ctype_sizeof():
+    assert C.DOUBLE.sizeof == 8
+    assert C.INT.sizeof == 4
+    assert C.CType("float", 2).sizeof == 8  # pointers are 8 bytes
+
+
+def test_ctype_pointee_and_pointer_to():
+    p = C.DOUBLE.pointer_to()
+    assert p.is_pointer and p.pointee() == C.DOUBLE
+
+
+def test_ctype_pointee_of_scalar_raises():
+    with pytest.raises(ValueError):
+        C.DOUBLE.pointee()
+
+
+def test_ctype_classification():
+    assert C.DOUBLE.is_float and not C.DOUBLE.is_integer
+    assert C.LONG.is_integer and not C.LONG.is_float
+    assert not C.DOUBLE_P.is_float  # a pointer is not a float scalar
+
+
+def test_ctype_rejects_unknown_base():
+    with pytest.raises(ValueError):
+        C.CType("quadruple")
+
+
+def test_ctype_hashable():
+    assert len({C.DOUBLE, C.CType("double"), C.LONG}) == 2
+
+
+# -- node mechanics -----------------------------------------------------------
+
+def test_children_iterates_direct_nodes():
+    e = parse_expr("a + b")
+    kids = list(e.children())
+    assert len(kids) == 2
+
+
+def test_walk_preorder_includes_self():
+    e = parse_expr("a + b * c")
+    nodes = list(e.walk())
+    assert nodes[0] is e
+    assert sum(isinstance(n, C.Id) for n in nodes) == 3
+
+
+def test_clone_is_deep():
+    e = parse_expr("A[i]")
+    c = e.clone()
+    c.index.name = "j"
+    assert e.index.name == "i"
+
+
+def test_ident_names():
+    fn = parse_function("void f(long n) { n = n + 1; }")
+    assert "n" in C.ident_names(fn.body)
+
+
+# -- const_fold -------------------------------------------------------------
+
+@pytest.mark.parametrize("src,expected", [
+    ("2 + 3", 5),
+    ("2 * 3 + 1", 7),
+    ("10 - 4", 6),
+    ("7 / 2", 3),
+    ("7 % 2", 1),
+    ("1 << 4", 16),
+])
+def test_const_fold_arithmetic(src, expected):
+    assert C.const_fold(parse_expr(src)) == C.IntLit(expected)
+
+
+def test_const_fold_identities():
+    assert C.const_fold(parse_expr("x + 0")) == C.Id("x")
+    assert C.const_fold(parse_expr("0 + x")) == C.Id("x")
+    assert C.const_fold(parse_expr("x * 1")) == C.Id("x")
+    assert C.const_fold(parse_expr("1 * x")) == C.Id("x")
+    assert C.const_fold(parse_expr("x * 0")) == C.IntLit(0)
+
+
+def test_const_fold_no_divide_by_zero():
+    e = C.const_fold(parse_expr("5 / 0"))
+    assert isinstance(e, C.BinOp)  # left unfolded rather than crashing
+
+
+def test_const_fold_partial():
+    e = C.const_fold(parse_expr("x + 2 * 3"))
+    assert isinstance(e, C.BinOp)
+    assert e.right == C.IntLit(6)
+
+
+def test_add_mul_helpers():
+    assert C.add(C.IntLit(2), C.IntLit(3)) == C.IntLit(5)
+    assert C.mul(C.Id("x"), C.IntLit(1)) == C.Id("x")
+
+
+def test_tagged_region_holds_statements():
+    region = C.TaggedRegion(template="mmSTORE",
+                            stmts=[parse_expr("x")])
+    assert region.template == "mmSTORE"
+    assert region.binding == {}

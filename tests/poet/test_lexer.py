@@ -1,0 +1,116 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.poet.errors import LexError
+from repro.poet.lexer import Token, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)[:-1]]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src)[:-1]]
+
+
+def test_empty_source_yields_only_eof():
+    toks = tokenize("")
+    assert len(toks) == 1 and toks[0].kind == "eof"
+
+
+def test_identifiers_and_keywords():
+    toks = tokenize("double foo _bar x1")
+    assert [t.kind for t in toks[:-1]] == ["kw", "id", "id", "id"]
+    assert [t.text for t in toks[:-1]] == ["double", "foo", "_bar", "x1"]
+
+
+def test_all_type_keywords_recognized():
+    for kw in ("void", "char", "int", "long", "float", "double"):
+        assert tokenize(kw)[0].kind == "kw"
+
+
+def test_integer_literals():
+    toks = tokenize("0 42 1024")
+    assert all(t.kind == "int" for t in toks[:-1])
+
+
+def test_hex_literal():
+    (tok, _) = tokenize("0xFF")
+    assert tok.kind == "int" and tok.text == "0xFF"
+
+
+def test_float_literals():
+    toks = tokenize("0.0 3.14 1e5 2.5e-3 1.0f")
+    assert [t.kind for t in toks[:-1]] == ["float"] * 5
+
+
+def test_integer_not_mistaken_for_float():
+    toks = tokenize("12 + 3")
+    assert toks[0].kind == "int" and toks[2].kind == "int"
+
+
+def test_integer_suffix_dropped():
+    toks = tokenize("10L")
+    assert toks[0].kind == "int" and toks[0].text == "10"
+
+
+def test_compound_operators_maximal_munch():
+    assert texts("+= -= *= == != <= >= << >> ++ --") == [
+        "+=", "-=", "*=", "==", "!=", "<=", ">=", "<<", ">>", "++", "--",
+    ]
+
+
+def test_single_char_operators():
+    assert texts("+ - * / % < > = !") == list("+-*/%<>=!")
+
+
+def test_punctuation():
+    assert texts("()[]{};,") == list("()[]{};,")
+
+
+def test_line_comment_skipped():
+    assert texts("a // comment here\n b") == ["a", "b"]
+
+
+def test_block_comment_skipped():
+    assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("a /* never closed")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+def test_line_and_column_tracking():
+    toks = tokenize("a\n  b")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+def test_lex_error_carries_position():
+    with pytest.raises(LexError) as exc:
+        tokenize("x\n\n  $")
+    assert exc.value.line == 3
+
+
+def test_float_with_exponent_no_dot():
+    toks = tokenize("1e9")
+    assert toks[0].kind == "float"
+
+
+def test_dot_followed_by_digits():
+    toks = tokenize("x[0] = .5;")
+    assert any(t.kind == "float" and t.text == ".5" for t in toks)
+
+
+def test_kernel_snippet_token_count():
+    src = "for (i = 0; i < N; i += 1) { y[i] += x[i] * alpha; }"
+    toks = tokenize(src)
+    assert toks[-1].kind == "eof"
+    assert sum(1 for t in toks if t.kind == "kw") == 1  # 'for'

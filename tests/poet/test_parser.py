@@ -1,0 +1,203 @@
+"""Parser tests: constructs, round trips, and error reporting."""
+
+import pytest
+
+from repro.poet import cast as C
+from repro.poet.errors import ParseError
+from repro.poet.parser import parse_expr, parse_function, parse_program, parse_stmt
+from repro.poet.printer import to_c
+
+
+# -- expressions ------------------------------------------------------------
+
+def test_precedence_mul_over_add():
+    e = parse_expr("a + b * c")
+    assert isinstance(e, C.BinOp) and e.op == "+"
+    assert isinstance(e.right, C.BinOp) and e.right.op == "*"
+
+
+def test_left_associativity():
+    e = parse_expr("a - b - c")
+    assert e.op == "-" and isinstance(e.left, C.BinOp) and e.left.op == "-"
+
+
+def test_parenthesized_grouping():
+    e = parse_expr("(a + b) * c")
+    assert e.op == "*" and isinstance(e.left, C.BinOp) and e.left.op == "+"
+
+
+def test_array_subscript_chain():
+    e = parse_expr("A[i][j]")
+    assert isinstance(e, C.Index) and isinstance(e.base, C.Index)
+
+
+def test_unary_minus_folds_literals():
+    assert parse_expr("-5") == C.IntLit(-5)
+    assert parse_expr("-2.5") == C.FloatLit(-2.5)
+
+
+def test_unary_minus_on_identifier():
+    e = parse_expr("-x")
+    assert isinstance(e, C.UnaryOp) and e.op == "-"
+
+
+def test_cast_expression():
+    e = parse_expr("(double*)p")
+    assert isinstance(e, C.Cast) and e.ctype == C.CType("double", 1)
+
+
+def test_call_with_args():
+    e = parse_expr("prefetch_t0(p + 64)")
+    assert isinstance(e, C.Call) and e.func == "prefetch_t0"
+    assert len(e.args) == 1
+
+
+def test_comparison_operators():
+    for op in ("<", "<=", ">", ">=", "==", "!="):
+        e = parse_expr(f"a {op} b")
+        assert e.op == op
+
+
+def test_logical_operators_lowest_precedence():
+    e = parse_expr("a < b && c > d")
+    assert e.op == "&&"
+
+
+# -- statements ---------------------------------------------------------------
+
+def test_simple_assignment():
+    s = parse_stmt("x = 5;")
+    assert isinstance(s, C.Assign) and s.op == "="
+
+
+@pytest.mark.parametrize("op", ["+=", "-=", "*=", "/="])
+def test_compound_assignment(op):
+    s = parse_stmt(f"x {op} 2;")
+    assert isinstance(s, C.Assign) and s.op == op
+
+
+def test_increment_desugars_to_plus_equals():
+    s = parse_stmt("i++;")
+    assert isinstance(s, C.Assign) and s.op == "+=" and s.rhs == C.IntLit(1)
+
+
+def test_declaration_with_initializer():
+    s = parse_stmt("double res = 0.0;")
+    assert isinstance(s, C.Decl)
+    assert s.ctype == C.DOUBLE and s.init == C.FloatLit(0.0)
+
+
+def test_pointer_declaration():
+    s = parse_stmt("double* p = A + 4;")
+    assert s.ctype == C.CType("double", 1)
+
+
+def test_for_loop_canonical():
+    s = parse_stmt("for (i = 0; i < N; i += 1) { x = i; }")
+    assert isinstance(s, C.For)
+    assert isinstance(s.init, C.Assign)
+    assert isinstance(s.cond, C.BinOp)
+    assert len(s.body.stmts) == 1
+
+
+def test_for_loop_with_declaration_init():
+    s = parse_stmt("for (long i = 0; i < N; i++) { }")
+    assert isinstance(s.init, C.Decl)
+
+
+def test_for_loop_unbraced_body_wrapped():
+    s = parse_stmt("for (i = 0; i < N; i += 1) x += 1;")
+    assert isinstance(s.body, C.Block) and len(s.body.stmts) == 1
+
+
+def test_if_else():
+    s = parse_stmt("if (a < b) { x = 1; } else { x = 2; }")
+    assert isinstance(s, C.If) and s.els is not None
+
+
+def test_return_with_value():
+    s = parse_stmt("return res;")
+    assert isinstance(s, C.Return) and isinstance(s.value, C.Id)
+
+
+def test_call_statement():
+    s = parse_stmt("prefetch_t0(p);")
+    assert isinstance(s, C.ExprStmt) and isinstance(s.expr, C.Call)
+
+
+# -- functions / programs -------------------------------------------------------
+
+def test_function_definition():
+    fn = parse_function("void f(long n, double* x) { x[0] = 1.0; }")
+    assert fn.name == "f"
+    assert [p.name for p in fn.params] == ["n", "x"]
+    assert fn.params[1].ctype.is_pointer
+
+
+def test_function_with_return_type():
+    fn = parse_function("double g(long n) { return 0.0; }")
+    assert fn.ret_type == C.DOUBLE
+
+
+def test_program_multiple_functions():
+    prog = parse_program("void a() { } void b() { }")
+    assert [f.name for f in prog.funcs] == ["a", "b"]
+    assert prog.func("b").name == "b"
+
+
+def test_program_unknown_function_lookup():
+    prog = parse_program("void a() { }")
+    with pytest.raises(KeyError):
+        prog.func("missing")
+
+
+def test_parse_function_rejects_two_functions():
+    with pytest.raises(ParseError):
+        parse_function("void a() { } void b() { }")
+
+
+# -- round trips -----------------------------------------------------------
+
+GEMM_SRC = """\
+void dgemm_kernel(long Mc, long Nc, long Kc, double* A, double* B, double* C, long LDC) {
+    long i;
+    for (i = 0; i < Mc; i += 1) {
+        double res = 0.0;
+        res += A[i] * B[i];
+        C[i] += res;
+    }
+}"""
+
+
+def test_round_trip_is_stable():
+    fn = parse_function(GEMM_SRC)
+    once = to_c(fn)
+    twice = to_c(parse_function(once))
+    assert once == twice
+
+
+def test_round_trip_preserves_structure():
+    from repro.poet.pattern import ast_equal
+
+    fn1 = parse_function(GEMM_SRC)
+    fn2 = parse_function(to_c(fn1))
+    assert ast_equal(fn1, fn2)
+
+
+# -- errors -----------------------------------------------------------------
+
+@pytest.mark.parametrize("bad", [
+    "void f( { }",
+    "void f() { x = ; }",
+    "void f() { for (;;; ) {} }",
+    "void f() { double 5x; }",
+    "void f() { x = 1 }",
+])
+def test_syntax_errors_raise(bad):
+    with pytest.raises(ParseError):
+        parse_function(bad)
+
+
+def test_trailing_garbage_after_expr():
+    with pytest.raises(ParseError):
+        parse_expr("a + b extra")

@@ -1,0 +1,110 @@
+"""Pattern-matching engine tests."""
+
+import pytest
+
+from repro.poet import cast as C
+from repro.poet.errors import PatternError
+from repro.poet.parser import parse_expr, parse_stmt
+from repro.poet.pattern import Bind, ast_equal, find_all, match, matches, subst
+
+
+LOAD_PAT = C.Assign(Bind("dst", C.Id), "=",
+                    C.Index(Bind("arr", C.Id), Bind("idx")))
+
+
+def test_simple_capture():
+    b = match(LOAD_PAT, parse_stmt("tmp0 = ptr_A[4];"))
+    assert b is not None
+    assert b["dst"].name == "tmp0"
+    assert b["arr"].name == "ptr_A"
+    assert b["idx"] == C.IntLit(4)
+
+
+def test_mismatch_returns_none():
+    assert match(LOAD_PAT, parse_stmt("tmp0 = a + b;")) is None
+
+
+def test_wildcard_underscore_not_captured():
+    pat = C.Assign(Bind("_"), "=", Bind("_"))
+    b = match(pat, parse_stmt("x = y;"))
+    assert b == {}
+
+
+def test_repeated_bind_must_match_equal_subtrees():
+    pat = C.Assign(Bind("x", C.Id), "=",
+                   C.BinOp("+", Bind("x", C.Id), Bind("inc")))
+    assert matches(pat, parse_stmt("res = res + tmp;"))
+    assert not matches(pat, parse_stmt("res = other + tmp;"))
+
+
+def test_class_constraint():
+    pat = Bind("v", C.IntLit)
+    assert matches(pat, C.IntLit(3))
+    assert not matches(pat, C.FloatLit(3.0))
+
+
+def test_where_predicate():
+    pat = Bind("v", C.IntLit, where=lambda n: n.value > 10)
+    assert matches(pat, C.IntLit(42))
+    assert not matches(pat, C.IntLit(5))
+
+
+def test_list_pattern_length_must_match():
+    pat = [Bind("a"), Bind("b")]
+    assert match(pat, [C.IntLit(1), C.IntLit(2)]) is not None
+    assert match(pat, [C.IntLit(1)]) is None
+
+
+def test_operator_field_is_literal_matched():
+    pat = C.Assign(Bind("_"), "+=", Bind("_"))
+    assert matches(pat, parse_stmt("x += 1;"))
+    assert not matches(pat, parse_stmt("x = 1;"))
+
+
+def test_find_all_yields_every_match():
+    expr = parse_expr("A[0] + A[1] + B[2]")
+    pat = C.Index(Bind("arr", C.Id), Bind("idx", C.IntLit))
+    hits = list(find_all(pat, expr))
+    assert len(hits) == 3
+    names = sorted(b["arr"].name for _, b in hits)
+    assert names == ["A", "A", "B"]
+
+
+def test_ast_equal_structural():
+    a = parse_expr("x + y * 2")
+    b = parse_expr("x + y * 2")
+    c = parse_expr("x + y * 3")
+    assert ast_equal(a, b)
+    assert not ast_equal(a, c)
+
+
+def test_subst_replaces_binds():
+    template = C.Assign(Bind("dst"), "=", C.BinOp("*", Bind("a"), Bind("b")))
+    out = subst(template, {"dst": C.Id("t"), "a": C.Id("x"), "b": C.IntLit(2)})
+    assert ast_equal(out, parse_stmt("t = x * 2;"))
+
+
+def test_subst_replaces_named_ids():
+    template = parse_stmt("res = res + tmp;")
+    out = subst(template, {"res": "acc", "tmp": C.Id("t9")})
+    assert ast_equal(out, parse_stmt("acc = acc + t9;"))
+
+
+def test_subst_unbound_raises():
+    with pytest.raises(PatternError):
+        subst(Bind("missing"), {})
+
+
+def test_subst_scalar_values():
+    template = parse_stmt("x = k;")
+    out = subst(template, {"k": 7})
+    assert ast_equal(out, parse_stmt("x = 7;"))
+
+
+def test_match_does_not_mutate_node():
+    stmt = parse_stmt("tmp0 = ptr_A[4];")
+    from repro.poet.printer import to_c
+
+    text = to_c(stmt)
+    match(LOAD_PAT, stmt)
+    assert to_c(stmt) == text

@@ -1,0 +1,66 @@
+"""Pretty-printer tests."""
+
+from repro.poet import cast as C
+from repro.poet.parser import parse_expr, parse_function, parse_stmt
+from repro.poet.printer import to_c
+
+
+def test_expr_plain():
+    assert to_c(parse_expr("a + b * c")) == "a + b * c"
+
+
+def test_expr_needs_parens():
+    assert to_c(parse_expr("(a + b) * c")) == "(a + b) * c"
+
+
+def test_nested_parens_minimal():
+    assert to_c(parse_expr("a * (b + c) * d")) == "a * (b + c) * d"
+
+
+def test_float_literal_keeps_decimal_point():
+    assert to_c(C.FloatLit(0.0)) == "0.0"
+    assert to_c(C.FloatLit(2.0)) == "2.0"
+
+
+def test_index_and_call():
+    assert to_c(parse_expr("A[i * M + 1]")) == "A[i * M + 1]"
+    assert to_c(parse_expr("f(x, y)")) == "f(x, y)"
+
+
+def test_cast_rendering():
+    assert to_c(parse_expr("(double*)p")) == "(double*)p"
+
+
+def test_declaration():
+    assert to_c(parse_stmt("double* p = A + 4;")) == "double* p = A + 4;"
+
+
+def test_for_loop_layout():
+    out = to_c(parse_stmt("for (i = 0; i < N; i += 1) { x += 1; }"))
+    assert out.splitlines()[0] == "for (i = 0; i < N; i += 1) {"
+    assert out.splitlines()[1] == "    x += 1;"
+    assert out.splitlines()[2] == "}"
+
+
+def test_if_else_layout():
+    out = to_c(parse_stmt("if (a < b) { x = 1; } else { x = 2; }"))
+    assert "} else {" in out
+
+
+def test_tagged_region_prints_as_comment_block():
+    inner = [parse_stmt("x = 1.0;")]
+    region = C.TaggedRegion(template="mmCOMP", stmts=inner)
+    out = to_c(region)
+    assert "/* BEGIN mmCOMP */" in out and "/* END mmCOMP */" in out
+    assert "x = 1.0;" in out
+
+
+def test_function_signature():
+    fn = parse_function("double f(long n, double* x) { return x[0]; }")
+    out = to_c(fn)
+    assert out.startswith("double f(long n, double* x) {")
+    assert out.endswith("}")
+
+
+def test_empty_return():
+    assert to_c(parse_stmt("return;")) == "return;"

@@ -1,0 +1,81 @@
+"""Property-based round trips: random ASTs survive print->parse->print."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.poet import cast as C
+from repro.poet.parser import parse_expr, parse_stmt
+from repro.poet.pattern import ast_equal
+from repro.poet.printer import to_c
+
+_NAMES = ["a", "b", "c", "x", "ptr_A0", "tmp0", "res_u0"]
+
+
+@st.composite
+def exprs(draw, depth=0):
+    if depth > 4 or draw(st.booleans()):
+        kind = draw(st.sampled_from(["id", "int", "float"]))
+        if kind == "id":
+            return C.Id(draw(st.sampled_from(_NAMES)))
+        if kind == "int":
+            return C.IntLit(draw(st.integers(0, 10_000)))
+        return C.FloatLit(draw(st.sampled_from([0.0, 1.0, 2.5, 0.125])))
+    kind = draw(st.sampled_from(["bin", "index", "unary", "call"]))
+    if kind == "bin":
+        op = draw(st.sampled_from(["+", "-", "*", "/", "%", "<", "<=",
+                                   "==", "!="]))
+        return C.BinOp(op, draw(exprs(depth=depth + 1)),
+                       draw(exprs(depth=depth + 1)))
+    if kind == "index":
+        return C.Index(C.Id(draw(st.sampled_from(_NAMES))),
+                       draw(exprs(depth=depth + 1)))
+    if kind == "unary":
+        return C.UnaryOp("-", C.Id(draw(st.sampled_from(_NAMES))))
+    return C.Call(draw(st.sampled_from(["prefetch_t0", "f"])),
+                  [draw(exprs(depth=depth + 1))])
+
+
+@given(exprs())
+@settings(max_examples=200, deadline=None)
+def test_expr_print_parse_roundtrip(e):
+    text = to_c(e)
+    reparsed = parse_expr(text)
+    assert ast_equal(e, reparsed), f"{text!r} -> {to_c(reparsed)!r}"
+
+
+@st.composite
+def stmts(draw, depth=0):
+    kind = draw(st.sampled_from(
+        ["assign", "compound", "decl", "for", "if", "return"]
+        if depth < 2 else ["assign", "compound", "decl", "return"]))
+    if kind == "assign":
+        lhs = draw(st.sampled_from(
+            [C.Id("x"), C.Index(C.Id("ptr_A0"), C.IntLit(draw(st.integers(0, 9))))]))
+        return C.Assign(lhs, "=", draw(exprs()))
+    if kind == "compound":
+        op = draw(st.sampled_from(["+=", "-=", "*="]))
+        return C.Assign(C.Id(draw(st.sampled_from(_NAMES))), op, draw(exprs()))
+    if kind == "decl":
+        t = draw(st.sampled_from([C.DOUBLE, C.LONG, C.DOUBLE_P]))
+        init = draw(st.one_of(st.none(), exprs()))
+        return C.Decl(draw(st.sampled_from(_NAMES)), t, init)
+    if kind == "for":
+        body = draw(st.lists(stmts(depth=depth + 1), min_size=1, max_size=3))
+        return C.For(
+            C.Assign(C.Id("i"), "=", C.IntLit(0)),
+            C.BinOp("<", C.Id("i"), C.Id("x")),
+            C.Assign(C.Id("i"), "+=", C.IntLit(draw(st.integers(1, 4)))),
+            C.Block(body),
+        )
+    if kind == "if":
+        then = draw(st.lists(stmts(depth=depth + 1), min_size=1, max_size=2))
+        return C.If(C.BinOp("<", C.Id("a"), C.Id("b")), C.Block(then))
+    return C.Return(draw(st.one_of(st.none(), exprs())))
+
+
+@given(stmts())
+@settings(max_examples=150, deadline=None)
+def test_stmt_print_parse_roundtrip(s):
+    text = to_c(s)
+    reparsed = parse_stmt(text)
+    assert ast_equal(s, reparsed), text

@@ -1,0 +1,98 @@
+"""Symbol-table and type-inference tests."""
+
+import pytest
+
+from repro.poet import cast as C
+from repro.poet.errors import PoetError
+from repro.poet.parser import parse_expr, parse_function
+from repro.poet.symtab import SymbolTable
+
+
+FN = parse_function("""
+void f(long n, double alpha, double* x) {
+    long i;
+    double acc;
+    double* p;
+    for (i = 0; i < n; i += 1) {
+        acc = x[i];
+    }
+}
+""")
+
+
+@pytest.fixture
+def st():
+    return SymbolTable.of_function(FN)
+
+
+def test_params_declared(st):
+    assert st.type_of("n") == C.LONG
+    assert st.type_of("alpha") == C.DOUBLE
+    assert st.type_of("x") == C.DOUBLE_P
+    assert st.params == ["n", "alpha", "x"]
+
+
+def test_locals_declared_including_loop_scope(st):
+    assert st.type_of("i") == C.LONG
+    assert st.type_of("acc") == C.DOUBLE
+    assert st.is_pointer("p")
+
+
+def test_undeclared_raises(st):
+    with pytest.raises(PoetError):
+        st.type_of("ghost")
+    assert st.get("ghost") is None
+
+
+def test_conflicting_redeclaration_raises():
+    st = SymbolTable()
+    st.declare("v", C.LONG)
+    with pytest.raises(PoetError):
+        st.declare("v", C.DOUBLE)
+    st.declare("v", C.LONG)  # identical is tolerated
+
+
+def test_classification_helpers(st):
+    assert st.is_float_scalar("alpha")
+    assert not st.is_float_scalar("x")
+    assert st.is_integer("n")
+    assert sorted(st.pointers()) == ["p", "x"]
+
+
+def test_fresh_names(st):
+    assert st.fresh("brand_new") == "brand_new"
+    name = st.fresh("acc")
+    assert name != "acc" and name not in st
+
+
+def test_decls_inside_tagged_regions_found():
+    fn = parse_function("void g() { double t; t = 0.0; }")
+    region = C.TaggedRegion(template="mmCOMP", stmts=fn.body.stmts)
+    fn.body.stmts = [region]
+    st = SymbolTable.of_function(fn)
+    assert st.type_of("t") == C.DOUBLE
+
+
+# -- expression typing ----------------------------------------------------------
+
+@pytest.mark.parametrize("expr,expected", [
+    ("n", C.LONG),
+    ("alpha", C.DOUBLE),
+    ("x[i]", C.DOUBLE),
+    ("x + 4", C.DOUBLE_P),
+    ("i + 1", C.LONG),
+    ("alpha * 2.0", C.DOUBLE),
+    ("i < n", C.INT),
+    ("x[i] * alpha", C.DOUBLE),
+])
+def test_expr_type(st, expr, expected):
+    assert st.expr_type(parse_expr(expr)) == expected
+
+
+def test_expr_type_deref_and_addressof(st):
+    assert st.expr_type(parse_expr("*x")) == C.DOUBLE
+    assert st.expr_type(parse_expr("&alpha")) == C.DOUBLE_P
+
+
+def test_expr_type_cast(st):
+    assert st.expr_type(parse_expr("(long)alpha")) == C.LONG

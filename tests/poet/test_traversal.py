@@ -1,0 +1,92 @@
+"""Visitor/rewriter tests."""
+
+from repro.poet import cast as C
+from repro.poet.parser import parse_function, parse_stmt
+from repro.poet.pattern import ast_equal
+from repro.poet.printer import to_c
+from repro.poet.traversal import (
+    NodeTransformer,
+    NodeVisitor,
+    count_nodes,
+    replace_ids,
+    rewrite,
+    stmt_lists,
+)
+
+
+def test_visitor_dispatch():
+    seen = []
+
+    class V(NodeVisitor):
+        def visit_Id(self, node):
+            seen.append(node.name)
+
+    V().visit(parse_stmt("x = y + z;"))
+    assert sorted(seen) == ["x", "y", "z"]
+
+
+def test_transformer_replaces_node():
+    class T(NodeTransformer):
+        def visit_IntLit(self, node):
+            return C.IntLit(node.value * 2)
+
+    out = T().transform(parse_stmt("x = 3 + 4;"))
+    assert to_c(out) == "x = 6 + 8;"  # children rewritten bottom-up
+
+
+def test_transformer_splices_list():
+    class T(NodeTransformer):
+        def visit_Assign(self, node):
+            if isinstance(node.lhs, C.Id) and node.lhs.name == "dup":
+                return [node, node.clone()]
+            return None
+
+    fn = parse_function("void f() { dup = 1; x = 2; }")
+    T().transform(fn)
+    assert len(fn.body.stmts) == 3
+
+
+def test_transformer_deletes_statement():
+    class T(NodeTransformer):
+        def visit_Assign(self, node):
+            if isinstance(node.lhs, C.Id) and node.lhs.name == "kill":
+                return NodeTransformer.DELETE
+            return None
+
+    fn = parse_function("void f() { kill = 1; keep = 2; }")
+    T().transform(fn)
+    assert len(fn.body.stmts) == 1
+
+
+def test_functional_rewrite():
+    out = rewrite(parse_stmt("x = a * 2;"),
+                  lambda n: C.Id("b") if isinstance(n, C.Id) and n.name == "a" else None)
+    assert to_c(out) == "x = b * 2;"
+
+
+def test_replace_ids_with_strings_and_exprs():
+    s = parse_stmt("res = res + A[i];")
+    out = replace_ids(s, {"res": "acc", "i": C.BinOp("+", C.Id("i"), C.IntLit(1))})
+    assert to_c(out) == "acc = acc + A[i + 1];"
+
+
+def test_replace_ids_does_not_mutate_original():
+    s = parse_stmt("x = y;")
+    replace_ids(s, {"y": "z"})
+    assert to_c(s) == "x = y;"
+
+
+def test_stmt_lists_innermost_first():
+    fn = parse_function(
+        "void f() { for (i = 0; i < 4; i += 1) { for (j = 0; j < 4; j += 1)"
+        " { x = 1; } } }"
+    )
+    lists = list(stmt_lists(fn))
+    # innermost (x = 1) list first, outer body last
+    assert len(lists[0]) == 1 and isinstance(lists[0][0], C.Assign)
+    assert isinstance(lists[-1][0], C.For)
+
+
+def test_count_nodes():
+    fn = parse_function("void f() { x = a + b; }")
+    assert count_nodes(fn, C.Id) == 3

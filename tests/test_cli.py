@@ -1,0 +1,65 @@
+"""Top-level CLI tests (python -m repro ...)."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_archs(capsys):
+    assert main(["list-archs"]) == 0
+    out = capsys.readouterr().out
+    for name in ("generic_sse", "haswell", "piledriver", "sandybridge"):
+        assert name in out
+    assert "<- host" in out
+
+
+def test_generate_to_stdout(capsys):
+    assert main(["generate", "axpy", "--arch", "generic_sse"]) == 0
+    out = capsys.readouterr().out
+    assert ".globl daxpy_kernel" in out
+    assert "movddup" in out or "movupd" in out
+
+
+def test_generate_to_file_and_validate(tmp_path):
+    path = tmp_path / "k.S"
+    assert main(["generate", "gemm", "--arch", "piledriver",
+                 "-o", str(path)]) == 0
+    assert "vfmaddpd" in path.read_text()
+    assert main(["validate", str(path), "--kernel", "gemm"]) == 0
+
+
+def test_generate_custom_config(tmp_path):
+    path = tmp_path / "dot.S"
+    assert main(["generate", "dot", "--unroll", "i=8", "--split", "res=8",
+                 "--arch", "generic_sse", "-o", str(path)]) == 0
+    assert main(["validate", str(path), "--kernel", "dot"]) == 0
+
+
+def test_generate_unroll_jam_args(tmp_path):
+    path = tmp_path / "g.S"
+    assert main(["generate", "gemm", "--unroll-jam", "j=2",
+                 "--unroll-jam", "i=4", "--arch", "generic_sse",
+                 "-o", str(path)]) == 0
+    assert main(["validate", str(path), "--kernel", "gemm",
+                 "--m", "8"]) == 0
+
+
+def test_validate_detects_wrong_kernel(tmp_path, capsys):
+    path = tmp_path / "a.S"
+    main(["generate", "axpy", "--arch", "generic_sse", "-o", str(path)])
+    # validating an AXPY kernel as DOT must fail (different semantics)
+    rc = main(["validate", str(path), "--kernel", "dot"])
+    assert rc == 1
+
+
+def test_bad_split_syntax():
+    with pytest.raises(SystemExit):
+        main(["generate", "dot", "--split", "res:8"])
+
+
+def test_verbose_prints_low_level_c(tmp_path, capsys):
+    main(["generate", "axpy", "--arch", "generic_sse", "-v",
+          "-o", str(tmp_path / "x.S")])
+    err = capsys.readouterr().err
+    assert "low-level C" in err

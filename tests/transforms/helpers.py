@@ -1,0 +1,51 @@
+"""Helpers: execute C-subset kernels natively to verify transforms preserve
+semantics (transform correctness = same outputs as the original program)."""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+
+from repro.backend.compiler import build_shared
+from repro.poet import cast as C
+from repro.poet.printer import to_c
+
+_DP = ctypes.POINTER(ctypes.c_double)
+
+_PREFETCH_SHIM = """
+#define prefetch_t0(p) (void)(p)
+#define prefetch_t1(p) (void)(p)
+#define prefetch_t2(p) (void)(p)
+#define prefetch_nta(p) (void)(p)
+"""
+
+_counter = [0]
+
+
+def run_c_function(fn: C.FuncDef, args):
+    """Compile a (transformed) C-subset function and call it via ctypes.
+
+    numpy float64 arrays pass by pointer (mutated in place); ints/floats by
+    value.  Returns the function's return value (or None for void).
+    """
+    _counter[0] += 1
+    name = f"probe{_counter[0]}"
+    src = _PREFETCH_SHIM + to_c(fn).replace(f" {fn.name}(", f" {name}(", 1)
+    so = build_shared({f"{name}.c": src}, extra_flags=("-O1",), tag=name)
+    cfun = so.symbol(name)
+    argtypes = []
+    cargs = []
+    for a in args:
+        if isinstance(a, np.ndarray):
+            argtypes.append(_DP)
+            cargs.append(a.ctypes.data_as(_DP))
+        elif isinstance(a, float):
+            argtypes.append(ctypes.c_double)
+            cargs.append(a)
+        else:
+            argtypes.append(ctypes.c_long)
+            cargs.append(int(a))
+    cfun.argtypes = argtypes
+    cfun.restype = (ctypes.c_double if fn.ret_type == C.DOUBLE else None)
+    return cfun(*cargs)

@@ -1,0 +1,79 @@
+"""Property-based tests for the affine decomposition used by strength
+reduction: decompose then recompose must equal the original expression for
+every valuation of the free variables."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.poet import cast as C
+from repro.poet.parser import parse_expr
+from repro.transforms.strength_reduction import decompose_affine
+
+VARS = ["l", "i", "j", "Mc", "Nc", "Kc"]
+
+
+@st.composite
+def affine_exprs(draw, depth=0):
+    """Random integer expressions over VARS using + - * and literals."""
+    if depth > 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return C.Id(draw(st.sampled_from(VARS)))
+        return C.IntLit(draw(st.integers(-8, 8)))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(affine_exprs(depth=depth + 1))
+    right = draw(affine_exprs(depth=depth + 1))
+    return C.BinOp(op, left, right)
+
+
+def evaluate(e: C.Node, env: dict) -> int:
+    if isinstance(e, C.IntLit):
+        return e.value
+    if isinstance(e, C.Id):
+        return env[e.name]
+    if isinstance(e, C.UnaryOp) and e.op == "-":
+        return -evaluate(e.operand, env)
+    if isinstance(e, C.BinOp):
+        a, b = evaluate(e.left, env), evaluate(e.right, env)
+        return {"+": a + b, "-": a - b, "*": a * b}[e.op]
+    raise TypeError(type(e))
+
+
+@given(expr=affine_exprs(),
+       env_vals=st.lists(st.integers(-5, 5), min_size=len(VARS),
+                         max_size=len(VARS)))
+@settings(max_examples=200, deadline=None)
+def test_decompose_recompose_identity(expr, env_vals):
+    env = dict(zip(VARS, env_vals))
+    form = decompose_affine(expr, "l")
+    if form is None:
+        return  # legitimately non-affine in l (e.g. l*l)
+    recomposed = env["l"] * (evaluate(form.coeff, env) if form.coeff else 0)
+    recomposed += evaluate(form.base, env) if form.base is not None else 0
+    recomposed += form.const
+    assert recomposed == evaluate(expr, env)
+
+
+@given(expr=affine_exprs())
+@settings(max_examples=100, deadline=None)
+def test_coeff_and_base_are_var_free(expr):
+    form = decompose_affine(expr, "l")
+    if form is None:
+        return
+    for piece in (form.coeff, form.base):
+        if piece is not None:
+            assert "l" not in {n.name for n in piece.walk()
+                               if isinstance(n, C.Id)}
+
+
+def test_known_paper_expressions():
+    """The exact subscripts the GEMM pipeline produces must decompose."""
+    for src, var in [
+        ("l * Mc + i", "l"),
+        ("(l + 1) * Mc + i + 3", "l"),
+        ("j * Kc + l", "l"),
+        ("(j + 1) * Kc + l", "l"),
+        ("i * LDA + j", "j"),
+    ]:
+        form = decompose_affine(parse_expr(src), var)
+        assert form is not None and form.coeff is not None, src

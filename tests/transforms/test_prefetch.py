@@ -1,0 +1,63 @@
+"""Prefetch insertion tests."""
+
+import pytest
+
+from repro.blas.kernels import GEMM_SIMPLE_C
+from repro.poet import cast as C
+from repro.poet.parser import parse_function
+from repro.poet.printer import to_c
+from repro.transforms.prefetch import InsertPrefetch
+from repro.transforms.strength_reduction import StrengthReduce
+from repro.poet.errors import TransformError
+
+
+def _reduced_gemm():
+    return StrengthReduce().apply(parse_function(GEMM_SIMPLE_C))
+
+
+def _prefetch_calls(fn):
+    return [n for n in fn.body.walk()
+            if isinstance(n, C.Call) and n.func.startswith("prefetch")]
+
+
+def test_prefetch_inserted_for_advanced_pointers():
+    fn = InsertPrefetch(distance=64).apply(_reduced_gemm())
+    calls = _prefetch_calls(fn)
+    assert calls, "no prefetches inserted"
+
+
+def test_prefetch_at_loop_top():
+    fn = InsertPrefetch(distance=64).apply(_reduced_gemm())
+    inner = [n for n in fn.body.walk() if isinstance(n, C.For)][-1]
+    first = inner.body.stmts[0]
+    assert isinstance(first, C.ExprStmt) and isinstance(first.expr, C.Call)
+
+
+def test_prefetch_distance_dict_by_array():
+    fn = InsertPrefetch(distance={"A": 128}).apply(_reduced_gemm())
+    calls = _prefetch_calls(fn)
+    # only the A pointer gets one; distance appears in the address expr
+    assert len(calls) == 1
+    assert "128" in to_c(calls[0])
+
+
+def test_prefetch_level_selects_mnemonic():
+    fn = InsertPrefetch(distance=8, level="nta").apply(_reduced_gemm())
+    assert all(c.func == "prefetch_nta" for c in _prefetch_calls(fn))
+
+
+def test_prefetch_bad_level_raises():
+    with pytest.raises(TransformError):
+        InsertPrefetch(level=7)
+
+
+def test_prefetch_loop_filter():
+    fn = InsertPrefetch(loops=["i"], distance=16).apply(_reduced_gemm())
+    inner = [n for n in fn.body.walk() if isinstance(n, C.For)][-1]
+    assert not any(isinstance(s, C.ExprStmt) for s in inner.body.stmts)
+
+
+def test_no_pointers_no_prefetch():
+    src = "void f(long n) { long i; for (i = 0; i < n; i += 1) { i = i; } }"
+    fn = InsertPrefetch(distance=8).apply(parse_function(src))
+    assert _prefetch_calls(fn) == []

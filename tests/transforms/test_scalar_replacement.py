@@ -1,0 +1,138 @@
+"""Scalar replacement (three-address lowering) and decl hoisting tests."""
+
+import numpy as np
+import pytest
+
+from repro.blas.kernels import AXPY_SIMPLE_C, DOT_SIMPLE_C, GEMM_SIMPLE_C
+from repro.core.templates import match_mm_comp, match_mm_store, match_mv_comp
+from repro.poet import cast as C
+from repro.poet.parser import parse_function
+from repro.poet.printer import to_c
+from repro.transforms.scalar_replacement import HoistDecls, ScalarReplace
+from repro.transforms.strength_reduction import StrengthReduce
+
+from tests.conftest import needs_cc
+from tests.transforms.helpers import run_c_function
+
+
+def _lowered(src):
+    fn = parse_function(src)
+    fn = StrengthReduce().apply(fn)
+    fn = ScalarReplace().apply(fn)
+    return HoistDecls().apply(fn)
+
+
+def _inner_loop_stmts(fn):
+    loops = [n for n in fn.body.walk() if isinstance(n, C.For)]
+    return loops[-1].body.stmts
+
+
+def test_gemm_inner_loop_is_mm_comp_shape():
+    fn = _lowered(GEMM_SIMPLE_C)
+    stmts = _inner_loop_stmts(fn)
+    assert match_mm_comp(stmts, 0) is not None
+
+
+def test_gemm_store_is_mm_store_shape():
+    fn = _lowered(GEMM_SIMPLE_C)
+    loops = [n for n in fn.body.walk() if isinstance(n, C.For)]
+    i_loop = loops[1]
+    after_l = [s for s in i_loop.body.stmts if not isinstance(s, C.For)]
+    # find three consecutive statements matching mmSTORE
+    found = any(match_mm_store(after_l, k) for k in range(len(after_l)))
+    assert found
+
+
+def test_axpy_inner_loop_is_mv_comp_shape():
+    fn = _lowered(AXPY_SIMPLE_C)
+    stmts = _inner_loop_stmts(fn)
+    assert match_mv_comp(stmts, 0) is not None
+
+
+def test_dot_inner_loop_is_mm_comp_shape():
+    fn = _lowered(DOT_SIMPLE_C)
+    stmts = _inner_loop_stmts(fn)
+    assert match_mm_comp(stmts, 0) is not None
+
+
+def test_temps_declared_at_top():
+    fn = _lowered(GEMM_SIMPLE_C)
+    # every Decl must sit directly in the function body, before other stmts
+    seen_non_decl = False
+    for s in fn.body.stmts:
+        if isinstance(s, C.Decl):
+            assert not seen_non_decl, "decl after executable statement"
+        else:
+            seen_non_decl = True
+    inner_decls = [
+        n for loop in fn.body.walk() if isinstance(loop, C.For)
+        for n in loop.body.stmts if isinstance(n, C.Decl)
+    ]
+    assert inner_decls == []
+
+
+def test_hoist_preserves_initializer_as_assignment():
+    src = "void f(double* x) { double t = 1.0; x[0] = t; }"
+    fn = HoistDecls().apply(parse_function(src))
+    assert isinstance(fn.body.stmts[0], C.Decl)
+    assert fn.body.stmts[0].init is None
+    assign = fn.body.stmts[1]
+    assert isinstance(assign, C.Assign) and assign.rhs == C.FloatLit(1.0)
+
+
+def test_hoist_for_loop_decl_init():
+    src = "void f(long n) { for (long i = 0; i < n; i += 1) { } }"
+    fn = HoistDecls().apply(parse_function(src))
+    assert isinstance(fn.body.stmts[0], C.Decl)
+    loop = fn.body.stmts[1]
+    assert isinstance(loop.init, C.Assign)
+
+
+def test_integer_statements_not_lowered():
+    src = "void f(long n, double* x) { long i; i = n * 2; x[0] += x[1] * 2.0; }"
+    fn = ScalarReplace().apply(parse_function(src))
+    text = to_c(fn)
+    assert "i = n * 2;" in text
+
+
+def test_each_load_gets_fresh_temp():
+    fn = _lowered(GEMM_SIMPLE_C)
+    stmts = _inner_loop_stmts(fn)
+    comp = match_mm_comp(stmts, 0)
+    assert len(set(comp.tmps)) == 3
+
+
+@needs_cc
+@pytest.mark.parametrize("src,builder", [
+    (AXPY_SIMPLE_C, "axpy"),
+    (DOT_SIMPLE_C, "dot"),
+])
+def test_lowering_preserves_semantics(src, builder):
+    rng = np.random.default_rng(3)
+    n = 24
+    x = rng.standard_normal(n)
+    y = rng.standard_normal(n)
+    fn = _lowered(src)
+    if builder == "axpy":
+        y2 = y.copy()
+        run_c_function(fn, [n, 2.0, x, y2])
+        assert np.allclose(y2, y + 2.0 * x)
+    else:
+        got = run_c_function(fn, [n, x, y])
+        assert np.isclose(got, x @ y)
+
+
+@needs_cc
+def test_gemm_lowering_preserves_semantics():
+    rng = np.random.default_rng(4)
+    mc, nc, kc, ldc = 4, 3, 8, 5
+    a = rng.standard_normal(kc * mc)
+    b = rng.standard_normal(nc * kc)
+    c = np.zeros(ldc * nc)
+    fn = _lowered(GEMM_SIMPLE_C)
+    run_c_function(fn, [mc, nc, kc, a, b, c, ldc])
+    am = a.reshape(kc, mc)
+    bm = b.reshape(nc, kc)
+    for j in range(nc):
+        for i in range(mc):
+            assert np.isclose(c[j * ldc + i], am[:, i] @ bm[j, :])

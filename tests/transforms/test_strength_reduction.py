@@ -1,0 +1,160 @@
+"""Strength reduction and affine decomposition tests."""
+
+import numpy as np
+import pytest
+
+from repro.blas.kernels import GEMM_SIMPLE_C
+from repro.poet import cast as C
+from repro.poet.parser import parse_expr, parse_function
+from repro.poet.printer import to_c
+from repro.transforms.strength_reduction import StrengthReduce, decompose_affine
+from repro.transforms.unroll_jam import UnrollJam
+
+from tests.conftest import needs_cc
+from tests.transforms.helpers import run_c_function
+
+
+# -- decompose_affine ----------------------------------------------------------
+
+def test_affine_plain_var():
+    form = decompose_affine(parse_expr("l"), "l")
+    assert form.coeff == C.IntLit(1) and form.base is None and form.const == 0
+
+
+def test_affine_coeff_and_base():
+    form = decompose_affine(parse_expr("l * Mc + i"), "l")
+    assert form.coeff == C.Id("Mc")
+    assert form.base == C.Id("i")
+    assert form.const == 0
+
+
+def test_affine_constant_offset():
+    form = decompose_affine(parse_expr("l * Mc + i + 3"), "l")
+    assert form.const == 3
+
+
+def test_affine_var_absent():
+    form = decompose_affine(parse_expr("j * Kc"), "l")
+    assert form.coeff is None
+
+
+def test_affine_distributes_products():
+    # (l + 1) * Mc must decompose as coeff=Mc, base=Mc
+    form = decompose_affine(parse_expr("(l + 1) * Mc + i"), "l")
+    assert form.coeff == C.Id("Mc")
+    assert to_c(form.base) in ("Mc + i", "i + Mc")
+
+
+def test_affine_subtraction():
+    form = decompose_affine(parse_expr("n - l"), "l")
+    assert form.coeff == C.IntLit(-1)
+
+
+def test_affine_nonlinear_returns_none():
+    assert decompose_affine(parse_expr("l * l"), "l") is None
+
+
+def test_affine_numeric_coeff():
+    form = decompose_affine(parse_expr("2 * l + 5"), "l")
+    assert form.coeff == C.IntLit(2) and form.const == 5
+
+
+# -- StrengthReduce on kernels ---------------------------------------------------
+
+def _gemm_reduced():
+    fn = parse_function(GEMM_SIMPLE_C)
+    fn = UnrollJam("j", 2).apply(fn)
+    fn = UnrollJam("i", 2).apply(fn)
+    return StrengthReduce().apply(fn)
+
+
+def test_gemm_pointers_introduced():
+    text = to_c(_gemm_reduced())
+    assert "ptr_A" in text and "ptr_B" in text and "ptr_C" in text
+
+
+def test_gemm_b_gets_pointer_per_j_copy():
+    fn = _gemm_reduced()
+    ptrs = {n.name for n in fn.body.walk()
+            if isinstance(n, C.Decl) and n.name.startswith("ptr_B")}
+    assert len(ptrs) == 2  # one per unrolled j value
+
+
+def test_inner_refs_become_constant_offsets():
+    fn = _gemm_reduced()
+    inner = [n for n in fn.body.walk() if isinstance(n, C.For)][-1]
+    for ref in inner.body.walk():
+        if isinstance(ref, C.Index):
+            assert isinstance(ref.index, C.IntLit)
+
+
+def test_pointer_increment_appended_to_loop():
+    text = to_c(_gemm_reduced())
+    assert "ptr_A0 += Mc" in text.replace("  ", " ")
+    assert "+= 1;" in text  # the B pointers advance by one element
+
+
+def test_invariant_refs_untouched():
+    src = """
+    void f(long n, double* x, double* y) {
+        long i;
+        for (i = 0; i < n; i += 1) {
+            y[i] += x[0];
+        }
+    }
+    """
+    fn = StrengthReduce().apply(parse_function(src))
+    text = to_c(fn)
+    assert "x[0]" in text  # loop-invariant ref left alone
+    assert "ptr_y" in text
+
+
+def test_loops_filter_restricts_processing():
+    fn = parse_function(GEMM_SIMPLE_C)
+    fn = StrengthReduce(loops=["l"]).apply(fn)
+    text = to_c(fn)
+    assert "ptr_A" in text  # l-loop processed
+    assert "ptr_C" not in text  # i-loop untouched (C refs are i-indexed)
+
+
+@needs_cc
+def test_strength_reduction_preserves_gemm_semantics():
+    rng = np.random.default_rng(9)
+    mc, nc, kc, ldc = 8, 6, 12, 10
+    a = rng.standard_normal(kc * mc)
+    b = rng.standard_normal(nc * kc)
+    c = rng.standard_normal(ldc * nc)
+    ref = c.copy()
+    am = a.reshape(kc, mc)
+    bm = b.reshape(nc, kc)
+    for j in range(nc):
+        for i in range(mc):
+            ref[j * ldc + i] += am[:, i] @ bm[j, :]
+    fn = parse_function(GEMM_SIMPLE_C)
+    fn = UnrollJam("j", 2).apply(fn)
+    fn = UnrollJam("i", 2).apply(fn)
+    fn = StrengthReduce().apply(fn)
+    run_c_function(fn, [mc, nc, kc, a, b, c, ldc])
+    assert np.allclose(c, ref)
+
+
+@needs_cc
+def test_strength_reduction_after_l_unroll_semantics():
+    from repro.transforms.unroll import Unroll
+
+    rng = np.random.default_rng(10)
+    mc, nc, kc, ldc = 4, 4, 16, 4
+    a = rng.standard_normal(kc * mc)
+    b = rng.standard_normal(nc * kc)
+    c = np.zeros(ldc * nc)
+    fn = parse_function(GEMM_SIMPLE_C)
+    fn = UnrollJam("j", 2).apply(fn)
+    fn = UnrollJam("i", 2).apply(fn)
+    fn = Unroll("l", 2).apply(fn)
+    fn = StrengthReduce().apply(fn)
+    run_c_function(fn, [mc, nc, kc, a, b, c, ldc])
+    am = a.reshape(kc, mc)
+    bm = b.reshape(nc, kc)
+    for j in range(nc):
+        for i in range(mc):
+            assert np.isclose(c[j * ldc + i], am[:, i] @ bm[j, :])

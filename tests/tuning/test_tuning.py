@@ -1,0 +1,92 @@
+"""Tuning space and search tests."""
+
+import pytest
+
+from repro.isa.arch import GENERIC_SSE, HASWELL
+from repro.transforms.pipeline import OptimizationConfig
+from repro.tuning.space import (
+    Candidate,
+    axpy_candidates,
+    candidates_for,
+    dot_candidates,
+    gemm_candidates,
+    gemv_candidates,
+)
+from repro.tuning.search import tune_kernel
+
+from tests.conftest import needs_cc
+
+
+def test_gemm_space_nonempty_and_valid():
+    cands = gemm_candidates(HASWELL)
+    assert len(cands) >= 10
+    for c in cands:
+        assert isinstance(c.config, OptimizationConfig)
+        nu = dict(c.config.unroll_jam).get("j", 1)
+        mu = dict(c.config.unroll_jam).get("i", 1)
+        # the space pre-filters register-impossible shapes
+        assert nu * (mu // 4) + mu // 4 + 1 <= 16
+
+
+def test_gemm_space_shuf_candidates_on_shuf_layout():
+    # both 2-lane (SSE) and 4-lane (AVX) Shuf methods are in the space
+    assert any(c.strategy == "shuf"
+               for c in gemm_candidates(GENERIC_SSE, layout="shuf"))
+    assert any(c.strategy == "shuf"
+               for c in gemm_candidates(HASWELL, layout="shuf"))
+    # ...but never on the dup layout (B lanes are not contiguous there)
+    assert not any(c.strategy == "shuf"
+                   for c in gemm_candidates(HASWELL, layout="dup"))
+
+
+def test_vector_spaces_scale_with_lanes():
+    for maker in (gemv_candidates, axpy_candidates, dot_candidates):
+        sse = maker(GENERIC_SSE)
+        avx = maker(HASWELL)
+        assert sse and avx
+
+
+def test_dot_candidates_always_split():
+    for c in dot_candidates(HASWELL):
+        assert c.config.split, "DOT must split its accumulator"
+        (var, acc, ways) = c.config.split[0]
+        assert ways == dict(c.config.unroll)["i"]
+
+
+def test_candidates_for_dispatch():
+    assert candidates_for("axpy", HASWELL)
+    with pytest.raises(KeyError):
+        candidates_for("cholesky", HASWELL)
+
+
+def test_candidate_describe():
+    c = Candidate(OptimizationConfig(unroll=(("i", 8),)), "auto")
+    assert "u(i)=8" in c.describe()
+
+
+@needs_cc
+def test_tune_kernel_picks_a_valid_winner():
+    # tiny candidate list keeps this fast
+    cands = [
+        Candidate(OptimizationConfig(unroll=(("i", 4),))),
+        Candidate(OptimizationConfig(unroll=(("i", 8),))),
+    ]
+    result = tune_kernel("axpy", candidates=cands, batches=2)
+    assert result.best in cands
+    assert result.best_gflops > 0
+    assert len(result.trials) == 2
+    assert "tuning axpy" in result.report()
+
+
+@needs_cc
+def test_tune_kernel_records_failures_and_survives():
+    # an over-aggressive unroll that blows the register file must be
+    # recorded as a failed trial, not crash the search
+    cands = [
+        Candidate(OptimizationConfig(unroll_jam=(("j", 8), ("i", 16)))),
+        Candidate(OptimizationConfig(unroll_jam=(("j", 2), ("i", 8)))),
+    ]
+    result = tune_kernel("gemm", candidates=cands, batches=2)
+    assert result.best is cands[1]
+    failed = [t for t in result.trials if t.gflops < 0]
+    assert len(failed) == 1 and failed[0].error
