@@ -3,21 +3,27 @@
 configurations for each kernel, measure each candidate natively, and print
 the leaderboard.
 
+Candidates are generated/assembled on a small worker pool and every
+measurement is persisted in the kernel cache ($REPRO_CACHE_DIR), so a
+re-run replays instantly; timing itself always runs serialized.
+
 Run:  python examples/tune_kernels.py [gemm|gemv|axpy|dot]
 """
 
 import sys
 
+from repro.backend.cache import get_cache
 from repro.tuning.search import tune_kernel
 
 
 def main() -> None:
     kernels = sys.argv[1:] or ["axpy", "dot", "gemv", "gemm"]
     for kernel in kernels:
-        result = tune_kernel(kernel, verbose=False)
+        result = tune_kernel(kernel, verbose=False, jobs=4)
         print(result.report())
         print(f"\n>>> winner for {kernel}: {result.best.describe()} "
               f"at {result.best_gflops:.2f} GFLOPS\n")
+    print(f"[cache] {get_cache().stats.describe()}")
 
 
 if __name__ == "__main__":

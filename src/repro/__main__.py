@@ -6,7 +6,8 @@ Usage::
     python -m repro generate gemm --arch haswell -o dgemm.S
     python -m repro generate dot --nu 0 --unroll i=16 --split res=16
     python -m repro validate dgemm.S --kernel gemm
-    python -m repro tune axpy
+    python -m repro tune axpy --jobs 4
+    python -m repro cache stats
 
 ``generate`` writes (or prints) a complete GAS kernel; ``validate``
 parses an emitted ``.S`` file back and checks it against the numpy
@@ -146,8 +147,29 @@ def cmd_validate(args) -> int:
 def cmd_tune(args) -> int:
     from .tuning.search import tune_kernel
 
-    result = tune_kernel(args.kernel, verbose=args.verbose)
+    result = tune_kernel(args.kernel, verbose=args.verbose, jobs=args.jobs,
+                         reuse=not args.no_reuse)
     print(result.report())
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from .backend.cache import get_cache
+
+    cache = get_cache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cache entr{'y' if removed == 1 else 'ies'}"
+              f" from {cache.root}" if cache.enabled
+              else "cache disabled (REPRO_CACHE_DIR=off); nothing to clear")
+        return 0
+    # stats
+    inv = cache.inventory()
+    totals = cache.cumulative_stats()
+    print(f"cache root:      {inv['root']}")
+    print(f"compiled entries: {inv['entries']} ({inv['bytes']} bytes)")
+    print(f"tuning records:   {inv['tuning_records']}")
+    print(f"cumulative:       {totals.describe()}")
     return 0
 
 
@@ -184,7 +206,15 @@ def main(argv=None) -> int:
 
     t = sub.add_parser("tune", help="empirical configuration search")
     t.add_argument("kernel", choices=["gemm", "gemv", "axpy", "dot"])
+    t.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                   help="parallel generate/assemble workers (timing stays "
+                        "serial)")
+    t.add_argument("--no-reuse", action="store_true",
+                   help="ignore persisted tuning measurements")
     t.add_argument("-v", "--verbose", action="store_true")
+
+    c = sub.add_parser("cache", help="inspect or clear the kernel cache")
+    c.add_argument("action", choices=["stats", "clear"])
 
     args = parser.parse_args(argv)
     return {
@@ -192,6 +222,7 @@ def main(argv=None) -> int:
         "generate": cmd_generate,
         "validate": cmd_validate,
         "tune": cmd_tune,
+        "cache": cmd_cache,
     }[args.command](args)
 
 

@@ -1,0 +1,333 @@
+"""Persistent, content-addressed kernel cache.
+
+Compiled shared objects (and tuning measurements) are stored on disk under
+``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-augem``), keyed by a content
+hash that covers the sources, the compile flags, and the compiler
+identity/version, so entries survive process restarts and are shared by
+every benchmark/test/tuning run on the machine.
+
+Design points:
+
+- **two-level**: callers keep their own in-process dict (the hot layer);
+  this module is the cross-process disk layer.
+- **atomic publish**: entries are built in a scratch directory and moved
+  into place with a single ``rename``, so a crashed or concurrent writer
+  can never leave a half-written entry visible.
+- **self-healing**: a corrupted or truncated entry fails closed — it is
+  evicted and the caller rebuilds from source.
+- **instrumented**: a :class:`CacheStats` counter object records hits,
+  misses, evictions, and toolchain time; cumulative totals are merged
+  into ``stats.json`` at interpreter exit and surfaced through
+  ``python -m repro cache stats``.
+
+Setting ``REPRO_CACHE_DIR`` to ``off`` / ``none`` / ``0`` / ``disabled``
+turns the disk layer off entirely (hermetic test mode): all lookups miss,
+all publishes are no-ops, and nothing outside the process temp dir is
+touched.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import shutil
+import tempfile
+import uuid
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+_DISABLED_VALUES = {"off", "none", "0", "disabled", "false"}
+
+#: meta.json schema version; bump to invalidate every existing entry.
+ENTRY_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/evict counters plus toolchain-time accounting (seconds)."""
+
+    mem_hits: int = 0        # served from the in-process dict
+    disk_hits: int = 0       # served from the persistent store
+    misses: int = 0          # nothing cached; toolchain invoked
+    evictions: int = 0       # corrupt/cleared entries removed
+    errors: int = 0          # load failures (each also evicts)
+    puts: int = 0            # entries published to disk
+    tuning_hits: int = 0     # persisted tuning measurements reused
+    tuning_puts: int = 0     # tuning measurements persisted
+    toolchain_invocations: int = 0
+    build_seconds: float = 0.0  # wall time spent inside the toolchain
+
+    @property
+    def hits(self) -> int:
+        return self.mem_hits + self.disk_hits
+
+    def merge(self, other: Dict[str, Any]) -> None:
+        for key, value in other.items():
+            if hasattr(self, key) and isinstance(value, (int, float)):
+                setattr(self, key, getattr(self, key) + value)
+
+    def describe(self) -> str:
+        return (
+            f"hits={self.hits} (mem={self.mem_hits} disk={self.disk_hits}) "
+            f"misses={self.misses} evictions={self.evictions} "
+            f"errors={self.errors} puts={self.puts} "
+            f"tuning hits={self.tuning_hits} puts={self.tuning_puts} "
+            f"toolchain calls={self.toolchain_invocations} "
+            f"build time={self.build_seconds:.2f}s"
+        )
+
+
+def cache_root() -> Optional[Path]:
+    """Resolve the store root from the environment; ``None`` = disabled."""
+    raw = os.environ.get("REPRO_CACHE_DIR")
+    if raw is not None and raw.strip().lower() in _DISABLED_VALUES:
+        return None
+    if raw:
+        return Path(raw).expanduser()
+    return Path.home() / ".cache" / "repro-augem"
+
+
+class KernelCache:
+    """The on-disk half of the two-level cache.
+
+    Layout under the root::
+
+        objects/<k0:2>/<key>/   one compiled entry: meta.json + *.so
+        tuning/<k0:2>/<key>.json   one persisted tuning measurement
+        tmp/                    scratch for atomic publishes
+        stats.json              cumulative counters across processes
+    """
+
+    def __init__(self, root: Optional[Path]) -> None:
+        self.root = root
+        self.stats = CacheStats()
+        self._flushed = False
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    # -- paths ------------------------------------------------------------
+
+    def _entry_dir(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / key
+
+    def _tuning_path(self, key: str) -> Path:
+        return self.root / "tuning" / key[:2] / f"{key}.json"
+
+    def _scratch(self) -> Path:
+        tmp = self.root / "tmp"
+        tmp.mkdir(parents=True, exist_ok=True)
+        return Path(tempfile.mkdtemp(dir=tmp))
+
+    # -- compiled-object entries ------------------------------------------
+
+    def lookup_so(self, key: str) -> Optional[Path]:
+        """Return the cached ``.so`` path for ``key``, or ``None``.
+
+        Any malformed entry (missing meta, wrong version, missing or
+        truncated object) is evicted so the caller rebuilds cleanly.
+        """
+        if not self.enabled:
+            return None
+        entry = self._entry_dir(key)
+        meta_path = entry / "meta.json"
+        try:
+            meta = json.loads(meta_path.read_text())
+            if meta.get("version") != ENTRY_VERSION:
+                raise ValueError(f"entry version {meta.get('version')!r}")
+            so_path = entry / meta["so"]
+            size = so_path.stat().st_size
+            if size != meta["so_size"] or size == 0:
+                raise ValueError("shared object truncated")
+            return so_path
+        except (FileNotFoundError, NotADirectoryError):
+            return None
+        except Exception:
+            self.stats.errors += 1
+            self.evict(key)
+            return None
+
+    def publish_so(self, key: str, workdir: Path, so_name: str,
+                   meta: Optional[Dict[str, Any]] = None) -> Optional[Path]:
+        """Atomically move a finished build directory into the store.
+
+        ``workdir`` must contain ``so_name``; sources/objects alongside it
+        are kept for debuggability. Returns the published ``.so`` path (or
+        ``None`` when the store is disabled / publish raced and lost).
+        """
+        if not self.enabled:
+            return None
+        entry = self._entry_dir(key)
+        try:
+            so_src = workdir / so_name
+            record = dict(meta or {})
+            record.update(version=ENTRY_VERSION, so=so_name,
+                          so_size=so_src.stat().st_size)
+            # write meta last inside the scratch dir, then one atomic rename
+            (workdir / "meta.json").write_text(json.dumps(record, indent=2))
+            entry.parent.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            # store unusable (permissions, bad $REPRO_CACHE_DIR, disk
+            # full): the build in ``workdir`` is still valid, just never
+            # becomes shared — degrade instead of failing the build
+            self.stats.errors += 1
+            return None
+        try:
+            workdir.rename(entry)
+        except OSError:
+            # a concurrent builder published first; use theirs
+            shutil.rmtree(workdir, ignore_errors=True)
+            return self.lookup_so(key)
+        self.stats.puts += 1
+        return entry / so_name
+
+    def evict(self, key: str) -> None:
+        if not self.enabled:
+            return
+        entry = self._entry_dir(key)
+        if entry.exists():
+            shutil.rmtree(entry, ignore_errors=True)
+            self.stats.evictions += 1
+
+    # -- tuning measurements ----------------------------------------------
+
+    def load_tuning(self, key: str) -> Optional[Dict[str, Any]]:
+        if not self.enabled:
+            return None
+        try:
+            record = json.loads(self._tuning_path(key).read_text())
+        except (FileNotFoundError, NotADirectoryError):
+            return None
+        except Exception:
+            self.stats.errors += 1
+            try:
+                self._tuning_path(key).unlink()
+                self.stats.evictions += 1
+            except OSError:
+                pass
+            return None
+        self.stats.tuning_hits += 1
+        return record
+
+    def store_tuning(self, key: str, record: Dict[str, Any]) -> None:
+        if not self.enabled:
+            return
+        path = self._tuning_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f".{path.name}.{uuid.uuid4().hex}.tmp")
+            tmp.write_text(json.dumps(record, indent=2))
+            os.replace(tmp, path)
+        except OSError:
+            self.stats.errors += 1  # measurements are best-effort too
+            return
+        self.stats.tuning_puts += 1
+
+    # -- maintenance -------------------------------------------------------
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were evicted."""
+        if not self.enabled or not self.root.exists():
+            return 0
+        removed = 0
+        objects = self.root / "objects"
+        if objects.exists():
+            for shard in objects.iterdir():
+                for entry in (shard.iterdir() if shard.is_dir() else ()):
+                    shutil.rmtree(entry, ignore_errors=True)
+                    removed += 1
+            shutil.rmtree(objects, ignore_errors=True)
+        tuning = self.root / "tuning"
+        if tuning.exists():
+            removed += sum(1 for p in tuning.rglob("*.json"))
+            shutil.rmtree(tuning, ignore_errors=True)
+        shutil.rmtree(self.root / "tmp", ignore_errors=True)
+        stats_path = self.root / "stats.json"
+        if stats_path.exists():
+            stats_path.unlink()
+        self.stats.evictions += removed
+        return removed
+
+    def inventory(self) -> Dict[str, Any]:
+        """Store-wide entry counts and byte totals (for ``cache stats``)."""
+        info: Dict[str, Any] = {
+            "root": str(self.root) if self.enabled else "(disabled)",
+            "entries": 0, "bytes": 0, "tuning_records": 0,
+        }
+        if not self.enabled or not self.root.exists():
+            return info
+        objects = self.root / "objects"
+        if objects.exists():
+            for meta in objects.glob("*/*/meta.json"):
+                info["entries"] += 1
+                info["bytes"] += sum(
+                    f.stat().st_size for f in meta.parent.iterdir()
+                    if f.is_file())
+        tuning = self.root / "tuning"
+        if tuning.exists():
+            info["tuning_records"] = sum(1 for _ in tuning.rglob("*.json"))
+        return info
+
+    # -- cumulative stats --------------------------------------------------
+
+    def cumulative_stats(self) -> CacheStats:
+        """Persisted totals across all processes, plus this process."""
+        total = CacheStats()
+        if self.enabled:
+            try:
+                total.merge(json.loads((self.root / "stats.json").read_text()))
+            except (OSError, ValueError):
+                pass
+        total.merge(asdict(self.stats))
+        return total
+
+    def flush_stats(self) -> None:
+        """Merge this process's counters into ``stats.json`` (idempotent)."""
+        if not self.enabled or self._flushed:
+            return
+        live = asdict(self.stats)
+        if not any(live.values()):
+            return
+        self._flushed = True
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            path = self.root / "stats.json"
+            merged = CacheStats()
+            try:
+                merged.merge(json.loads(path.read_text()))
+            except (OSError, ValueError):
+                pass
+            merged.merge(live)
+            tmp = path.with_name(f".stats.{uuid.uuid4().hex}.tmp")
+            tmp.write_text(json.dumps(asdict(merged), indent=2))
+            os.replace(tmp, path)
+        except OSError:
+            pass  # stats are best-effort; never fail the build over them
+
+
+_CACHE: Optional[KernelCache] = None
+
+
+def get_cache() -> KernelCache:
+    """The process-wide cache, bound to the current ``$REPRO_CACHE_DIR``."""
+    global _CACHE
+    if _CACHE is None:
+        _CACHE = KernelCache(cache_root())
+        atexit.register(_CACHE.flush_stats)
+    return _CACHE
+
+
+def reset_cache() -> None:
+    """Drop the singleton so the next ``get_cache`` re-reads the env.
+
+    Test hook: lets a test repoint ``REPRO_CACHE_DIR`` at a tmp dir.
+    (The in-process ``.so`` dict in :mod:`repro.backend.compiler` is
+    reset separately by its own test hook.)
+    """
+    global _CACHE
+    if _CACHE is not None:
+        _CACHE.flush_stats()
+    _CACHE = None

@@ -2,21 +2,32 @@
 
 Used for the generated GAS kernels (assembled with ``gcc -c``) and the C
 baseline kernels (the "ATLAS-proxy" path: C + general-purpose compiler).
-Artifacts are cached in a per-process temp directory keyed by content hash,
-so repeated benchmark runs don't re-invoke the toolchain.
+
+Artifacts go through a two-level, content-addressed cache: an in-process
+dict over the persistent on-disk store of :mod:`repro.backend.cache`
+(``$REPRO_CACHE_DIR``, default ``~/.cache/repro-augem``). The key covers
+the sources, the flags, and the compiler identity/version, so a cached
+``.so`` is reused across processes but never across toolchains. When the
+store is disabled (``REPRO_CACHE_DIR=off``) builds land in a process
+scratch directory that is removed at interpreter exit.
 """
 
 from __future__ import annotations
 
+import atexit
 import ctypes
 import hashlib
 import os
 import shutil
 import subprocess
 import tempfile
+import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
+
+from .cache import get_cache
 
 
 class ToolchainError(RuntimeError):
@@ -42,18 +53,54 @@ def have_native_toolchain() -> bool:
         return False
 
 
-_CACHE_DIR: Optional[Path] = None
+_CC_FINGERPRINTS: Dict[str, str] = {}
 
 
-def _cache_dir() -> Path:
-    global _CACHE_DIR
-    if _CACHE_DIR is None:
-        _CACHE_DIR = Path(tempfile.mkdtemp(prefix="repro-augem-"))
-    return _CACHE_DIR
+def cc_fingerprint(cc: str) -> str:
+    """Compiler identity for the cache key: resolved path + version line.
+
+    Artifacts built by one toolchain must never be served to another, so
+    this participates in every content hash.
+    """
+    cached = _CC_FINGERPRINTS.get(cc)
+    if cached is not None:
+        return cached
+    path = shutil.which(cc) or cc
+    try:
+        proc = subprocess.run([cc, "--version"], capture_output=True,
+                              text=True, timeout=10)
+        version = (proc.stdout or proc.stderr).splitlines()[0].strip()
+    except (OSError, subprocess.TimeoutExpired, IndexError):
+        version = "unknown"
+    fp = f"{path}\x1f{version}"
+    _CC_FINGERPRINTS[cc] = fp
+    return fp
+
+
+_SCRATCH_DIR: Optional[Path] = None
+
+
+def _scratch_dir() -> Path:
+    """Process-local build scratch, removed at interpreter exit.
+
+    (The pre-cache implementation leaked one ``repro-augem-*`` temp
+    directory per process; cleanup is now registered the moment the
+    directory is created.)
+    """
+    global _SCRATCH_DIR
+    if _SCRATCH_DIR is None:
+        _SCRATCH_DIR = Path(tempfile.mkdtemp(prefix="repro-augem-"))
+        atexit.register(shutil.rmtree, str(_SCRATCH_DIR),
+                        ignore_errors=True)
+    return _SCRATCH_DIR
 
 
 def _run(cmd: Sequence[str]) -> None:
+    stats = get_cache().stats
+    stats.toolchain_invocations += 1
+    t0 = time.perf_counter()
     proc = subprocess.run(cmd, capture_output=True, text=True)
+    stats.build_seconds += time.perf_counter() - t0
     if proc.returncode != 0:
         raise ToolchainError(
             f"command failed: {' '.join(cmd)}\n{proc.stdout}\n{proc.stderr}"
@@ -72,25 +119,21 @@ class SharedObject:
 
 
 _SO_CACHE: Dict[str, SharedObject] = {}
+_SO_LOCK = threading.Lock()  # parallel tuning builds from worker threads
 
 
-def build_shared(sources: Dict[str, str], extra_flags: Sequence[str] = (),
-                 tag: str = "kernel") -> SharedObject:
-    """Compile ``sources`` (filename -> content) into one shared object.
-
-    ``.S`` files are assembled, ``.c`` files compiled; everything is linked
-    with ``-shared``.  Results are content-hash cached.
-    """
-    cc = find_cc()
+def _content_key(cc: str, sources: Dict[str, str],
+                 extra_flags: Sequence[str]) -> str:
     key_src = "\x00".join(f"{n}\x01{s}" for n, s in sorted(sources.items()))
-    key = hashlib.sha256(
-        (key_src + "\x02" + " ".join(extra_flags)).encode()
+    return hashlib.sha256(
+        (key_src + "\x02" + " ".join(extra_flags)
+         + "\x03" + cc_fingerprint(cc)).encode()
     ).hexdigest()[:24]
-    if key in _SO_CACHE:
-        return _SO_CACHE[key]
 
-    workdir = _cache_dir() / f"{tag}-{key}"
-    workdir.mkdir(parents=True, exist_ok=True)
+
+def _compile_into(cc: str, workdir: Path, sources: Dict[str, str],
+                  extra_flags: Sequence[str], tag: str) -> str:
+    """Run the toolchain in ``workdir``; returns the ``.so`` file name."""
     objects: List[str] = []
     for fname, content in sources.items():
         src_path = workdir / fname
@@ -101,14 +144,99 @@ def build_shared(sources: Dict[str, str], extra_flags: Sequence[str] = (),
             flags += list(extra_flags)
         _run([cc, "-c", str(src_path), "-o", str(obj_path)] + flags)
         objects.append(str(obj_path))
-    so_path = workdir / f"lib{tag}.so"
-    _run([cc, "-shared", "-o", str(so_path)] + objects)
+    so_name = f"lib{tag}.so"
+    _run([cc, "-shared", "-o", str(workdir / so_name)] + objects)
+    return so_name
+
+
+def build_shared(sources: Dict[str, str], extra_flags: Sequence[str] = (),
+                 tag: str = "kernel", force: bool = False) -> SharedObject:
+    """Compile ``sources`` (filename -> content) into one shared object.
+
+    ``.S`` files are assembled, ``.c`` files compiled; everything is linked
+    with ``-shared``. Lookup order: in-process dict, persistent store,
+    toolchain. ``force=True`` evicts any cached entry first (recovery path
+    for a cached object that loads but is otherwise unusable).
+    """
+    cc = find_cc()
+    cache = get_cache()
+    key = _content_key(cc, sources, extra_flags)
+
+    with _SO_LOCK:
+        if force:
+            _SO_CACHE.pop(key, None)
+            cache.evict(key)
+        elif key in _SO_CACHE:
+            cache.stats.mem_hits += 1
+            return _SO_CACHE[key]
+
+    so = None if force else _load_from_store(cache, key)
+    if so is None:
+        cache.stats.misses += 1
+        so = _build_and_publish(cc, cache, key, sources, extra_flags, tag)
+    with _SO_LOCK:
+        # a concurrent thread may have raced us; first one in wins so every
+        # caller shares one CDLL handle per key
+        existing = _SO_CACHE.setdefault(key, so)
+    return existing
+
+
+def _load_from_store(cache, key: str) -> Optional[SharedObject]:
+    so_path = cache.lookup_so(key)
+    if so_path is None:
+        return None
+    try:
+        lib = ctypes.CDLL(str(so_path))
+    except OSError:
+        # corrupt enough to pass the size check but not dlopen
+        cache.stats.errors += 1
+        cache.evict(key)
+        return None
+    cache.stats.disk_hits += 1
+    return SharedObject(path=so_path, lib=lib)
+
+
+def _build_and_publish(cc: str, cache, key: str, sources: Dict[str, str],
+                       extra_flags: Sequence[str],
+                       tag: str) -> SharedObject:
+    store_workdir: Optional[Path] = None
+    if cache.enabled:
+        try:
+            # build inside the store so the publish rename below stays on
+            # one filesystem (a /tmp scratch could sit on another device)
+            store_workdir = cache._scratch()
+        except OSError:
+            # store root unusable (bad $REPRO_CACHE_DIR, permissions):
+            # fall back to an unpublished process-scratch build
+            cache.stats.errors += 1
+    workdir = store_workdir
+    if workdir is None:
+        workdir = _scratch_dir() / f"{tag}-{key}"
+        workdir.mkdir(parents=True, exist_ok=True)
+    so_name = _compile_into(cc, workdir, sources, extra_flags, tag)
+    so_path = workdir / so_name
+    # dlopen from the (unique) scratch path *before* publishing: glibc
+    # caches handles by pathname, so loading the store path here would
+    # alias a stale mapping if this key was ever evicted and rebuilt
+    # within one process. The mapping survives the rename below.
     lib = ctypes.CDLL(str(so_path))
-    so = SharedObject(path=so_path, lib=lib)
-    _SO_CACHE[key] = so
-    return so
+    if store_workdir is not None:
+        published = cache.publish_so(
+            key, workdir, so_name,
+            meta={"tag": tag, "flags": list(extra_flags),
+                  "sources": sorted(sources)})
+        if published is not None:
+            so_path = published
+    return SharedObject(path=so_path, lib=lib)
 
 
-def assemble_kernel(asm_text: str, tag: str = "kernel") -> SharedObject:
+def assemble_kernel(asm_text: str, tag: str = "kernel",
+                    force: bool = False) -> SharedObject:
     """Assemble one GAS kernel into a loadable shared object."""
-    return build_shared({f"{tag}.S": asm_text}, tag=tag)
+    return build_shared({f"{tag}.S": asm_text}, tag=tag, force=force)
+
+
+def reset_so_cache() -> None:
+    """Test hook: drop every in-process handle (disk store untouched)."""
+    with _SO_LOCK:
+        _SO_CACHE.clear()

@@ -36,7 +36,14 @@ class NativeKernel:
     @classmethod
     def load(cls, generated: GeneratedKernel) -> "NativeKernel":
         so = assemble_kernel(generated.asm_text, tag=generated.name)
-        fn = so.symbol(generated.name)
+        try:
+            fn = so.symbol(generated.name)
+        except AttributeError:
+            # a persisted cache entry that dlopens but lacks the symbol
+            # (e.g. written by an older build): evict it and rebuild
+            so = assemble_kernel(generated.asm_text, tag=generated.name,
+                                 force=True)
+            fn = so.symbol(generated.name)
         return cls(generated=generated, so=so, fn=fn)
 
 

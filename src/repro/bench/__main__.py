@@ -21,12 +21,12 @@ from .harness import standard_lineup
 from .tables import table5_platform, table6_level3
 
 
-def _tuned_configs(verbose: bool) -> dict:
+def _tuned_configs(verbose: bool, jobs: int = 1) -> dict:
     from ..tuning.search import tune_kernel
 
     configs = {}
     for kernel in ("gemm", "gemv", "axpy", "dot"):
-        result = tune_kernel(kernel, verbose=verbose)
+        result = tune_kernel(kernel, verbose=verbose, jobs=jobs)
         configs[kernel] = result.best.config
         print(f"[tune] {kernel}: best = {result.best.describe()} "
               f"({result.best_gflops:.2f} GFLOPS)")
@@ -46,12 +46,15 @@ def main(argv=None) -> int:
                         help="include the naive C -O2 floor curve")
     parser.add_argument("--tune", action="store_true",
                         help="run the empirical tuner first")
+    parser.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                        help="parallel tuner build workers (with --tune)")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory for JSON results")
     args = parser.parse_args(argv)
 
     batches = 1 if args.quick else 3
-    configs = _tuned_configs(verbose=False) if args.tune else None
+    configs = (_tuned_configs(verbose=False, jobs=args.jobs)
+               if args.tune else None)
     libraries = standard_lineup(include_naive=args.naive, configs=configs)
 
     results = []
@@ -78,6 +81,12 @@ def main(argv=None) -> int:
         if args.out is not None:
             path = r.save(args.out)
             print(f"[saved {path}]")
+
+    from ..backend.cache import get_cache
+
+    cache = get_cache()
+    where = cache.root if cache.enabled else "disabled"
+    print(f"[cache] {cache.stats.describe()} (store: {where})")
     return 0
 
 

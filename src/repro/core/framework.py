@@ -17,6 +17,7 @@ for inspection.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
@@ -64,6 +65,32 @@ class GeneratedKernel:
             f"instructions: {sum(1 for i in self.items if type(i).__name__ == 'Instr')}",
         ]
         return "\n".join(lines)
+
+    @property
+    def content_hash(self) -> str:
+        """Stable content address of the finished kernel.
+
+        Hashes the emitted assembly (which embeds the symbol name, the
+        arch's instruction selection, and every optimization decision) —
+        the key under which persisted tuning measurements are filed.
+        """
+        return hashlib.sha256(self.asm_text.encode()).hexdigest()[:24]
+
+
+def stable_kernel_name(kernel: str, arch: ArchSpec,
+                       config: OptimizationConfig,
+                       strategy: str = "auto") -> str:
+    """A deterministic exported-symbol name for a tuning candidate.
+
+    The symbol name is part of the emitted assembly and therefore of the
+    compile-cache key, so it must depend only on *what* is generated —
+    never on candidate-list position or process state — for a re-tuning
+    run to hit the persistent cache.
+    """
+    digest = hashlib.sha256(
+        f"{config.describe()}\x1f{strategy}".encode()
+    ).hexdigest()[:10]
+    return f"tune_{kernel}_{arch.name}_{digest}"
 
 
 #: Default optimization configurations per (kernel family, SIMD lane count).

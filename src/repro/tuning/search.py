@@ -5,20 +5,38 @@ it against the numpy reference on a small problem (a wrong kernel must
 never win the search), measures it with min-of-batches timing, and keeps
 the fastest.  Candidates that fail generation (e.g. register-file
 overflow at extreme unroll factors) are skipped and recorded.
+
+Two layers make repeated searches cheap:
+
+- **parallel preparation** — with ``jobs > 1`` the generate+assemble work
+  fans out across a thread pool (assembly shells out to the toolchain, so
+  workers overlap cleanly); *timing stays serialized on the main thread*
+  so measurements are never co-scheduled with builds or each other.
+- **persistent measurements** — each successful trial is filed in the
+  kernel cache keyed by the generated kernel's content hash, so
+  re-tuning in a fresh process replays prior measurements instead of
+  rebuilding and re-timing candidates that have not changed.
 """
 
 from __future__ import annotations
 
+import hashlib
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
-from ..backend.runner import load_kernel
+from ..backend.cache import get_cache
+from ..backend.runner import NativeKernel, load_kernel
 from ..backend.timer import measure
-from ..core.framework import Augem
+from ..core.framework import Augem, GeneratedKernel, stable_kernel_name
 from ..isa.arch import ArchSpec, detect_host
 from .space import Candidate, candidates_for
+
+#: bump when any benchmark workload below changes shape/size, so stale
+#: persisted measurements are not replayed against a different problem
+_WORKLOAD_VERSION = 1
 
 
 @dataclass
@@ -26,6 +44,7 @@ class TrialResult:
     candidate: Candidate
     gflops: float  # -1.0 when the candidate failed
     error: Optional[str] = None
+    cached: bool = False  # replayed from a persisted measurement
 
 
 @dataclass
@@ -41,7 +60,9 @@ class TuningResult:
         for t in sorted(self.trials, key=lambda t: -t.gflops):
             status = f"{t.gflops:7.2f} GF" if t.gflops >= 0 else f"failed: {t.error}"
             marker = " <== best" if t.candidate is self.best else ""
-            lines.append(f"  {t.candidate.describe():55s} {status}{marker}")
+            cached = " (cached)" if t.cached else ""
+            lines.append(
+                f"  {t.candidate.describe():55s} {status}{cached}{marker}")
         return "\n".join(lines)
 
 
@@ -49,13 +70,15 @@ def _gemm_workload(rng):
     mc, nc, kc = 64, 64, 256
     a = rng.standard_normal(kc * mc)
     b = rng.standard_normal(nc * kc)
+    # C += A@B accumulates in place across timed calls by design (that is
+    # the kernel's contract). The tile is allocated fresh per candidate and
+    # grows only linearly in the call count, so it can neither overflow nor
+    # leak into another candidate's validation buffers (unlike the shared
+    # vector-workload buffers, which timing must never mutate).
     c = np.zeros(mc * nc)
     flops = 2.0 * mc * nc * kc
 
     def run(k):
-        k(mc, nc, kc, a, b, c, mc)
-
-    def run_shuf(k):
         k(mc, nc, kc, a, b, c, mc)
 
     return run, flops
@@ -85,12 +108,68 @@ def _validate_gemm(kernel, layout: str, rng) -> bool:
     return np.allclose(c, ref)
 
 
+@dataclass
+class _Prepared:
+    """One candidate after the (possibly parallel) generate+assemble phase."""
+
+    candidate: Candidate
+    generated: Optional[GeneratedKernel] = None
+    native: Optional[NativeKernel] = None
+    cached_gflops: Optional[float] = None
+    error: Optional[str] = None
+
+
+def _measurement_key(kernel_key: str, arch: ArchSpec,
+                     gk: GeneratedKernel, batches: int) -> str:
+    """Content address of one (kernel, arch, candidate, workload) trial."""
+    return hashlib.sha256(
+        f"tune\x1f{kernel_key}\x1f{arch.name}\x1f{gk.content_hash}"
+        f"\x1fbatches={batches}\x1fwl={_WORKLOAD_VERSION}".encode()
+    ).hexdigest()[:24]
+
+
+def _prepare(aug: Augem, kernel: str, kernel_key: str, arch: ArchSpec,
+             cand: Candidate, batches: int, reuse: bool) -> _Prepared:
+    """Generate and assemble one candidate (thread-pool friendly).
+
+    Generation is pure Python; assembly shells out to the toolchain (and
+    through the persistent compile cache). If a persisted measurement for
+    this exact generated kernel exists, assembly is skipped entirely —
+    the warm path touches no toolchain at all.
+    """
+    cache = get_cache()
+    try:
+        name = stable_kernel_name(kernel_key, arch, cand.config,
+                                  cand.strategy)
+        gk = aug.generate_named(kernel_key, config=cand.config,
+                                strategy=cand.strategy, name=name)
+        if reuse:
+            record = cache.load_tuning(_measurement_key(kernel_key, arch,
+                                                        gk, batches))
+            if record is not None:
+                return _Prepared(cand, generated=gk,
+                                 cached_gflops=float(record["gflops"]))
+        native = load_kernel(kernel_key, gk)
+        return _Prepared(cand, generated=gk, native=native)
+    except Exception as exc:  # noqa: BLE001 - record and move on
+        return _Prepared(cand, error=str(exc)[:120])
+
+
 def tune_kernel(kernel: str, arch: Optional[ArchSpec] = None,
                 layout: str = "dup",
                 candidates: Optional[List[Candidate]] = None,
                 batches: int = 5,
+                jobs: int = 1,
+                reuse: bool = True,
                 verbose: bool = False) -> TuningResult:
-    """Exhaustively evaluate the candidate space; return the winner."""
+    """Exhaustively evaluate the candidate space; return the winner.
+
+    :param jobs: worker threads for the generate+assemble phase. Timing is
+        always serialized on the calling thread regardless of ``jobs``, so
+        parallelism never perturbs the measurements.
+    :param reuse: replay persisted measurements for unchanged candidates
+        (set ``False`` to force fresh timing of every candidate).
+    """
     arch = arch or detect_host()
     aug = Augem(arch=arch)
     rng = np.random.default_rng(42)
@@ -103,52 +182,84 @@ def tune_kernel(kernel: str, arch: Optional[ArchSpec] = None,
     x = rng.standard_normal(n_vec)
     y = rng.standard_normal(n_vec)
 
+    # phase 1: generate + assemble every candidate (parallel when jobs > 1)
+    if jobs > 1 and len(candidates) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            prepared = list(pool.map(
+                lambda c: _prepare(aug, kernel, kernel_key, arch, c,
+                                   batches, reuse),
+                candidates))
+    else:
+        prepared = [_prepare(aug, kernel, kernel_key, arch, c, batches, reuse)
+                    for c in candidates]
+
+    # phase 2: validate + time, strictly serial on this thread
+    cache = get_cache()
     trials: List[TrialResult] = []
     best: Optional[Candidate] = None
     best_gf = -1.0
-    for idx, cand in enumerate(candidates):
+    for prep in prepared:
+        cand = prep.candidate
         try:
-            gk = aug.generate_named(kernel_key, config=cand.config,
-                                    strategy=cand.strategy,
-                                    name=f"tune_{kernel}_{arch.name}_{idx}")
-            native = load_kernel(kernel_key, gk)
-            if kernel == "gemm":
-                if not _validate_gemm(native, layout, rng):
-                    raise RuntimeError("validation failed")
-                run, flops = _gemm_workload(rng)
-                m = measure(lambda: run(native), batches=batches)
-            elif kernel == "gemv":
-                mdim = 1 << 10
-                ncols = 64
-                a = rng.standard_normal(ncols * mdim)
-                yv = np.zeros(mdim)
-                xv = rng.standard_normal(ncols)
-                ref = a.reshape(ncols, mdim).T @ xv
-                native(mdim, ncols, a, mdim, xv, yv)
-                if not np.allclose(yv, ref):
-                    raise RuntimeError("validation failed")
-                flops = 2.0 * mdim * ncols
-                m = measure(lambda: native(mdim, ncols, a, mdim, xv, yv),
-                            batches=batches)
-            elif kernel == "axpy":
-                yv = y.copy()
-                native(n_vec, 1.5, x, yv)
-                if not np.allclose(yv, y + 1.5 * x):
-                    raise RuntimeError("validation failed")
-                flops = 2.0 * n_vec
-                m = measure(lambda: native(n_vec, 1.5, x, y), batches=batches)
-            elif kernel == "dot":
-                r = native(n_vec, x, y)
-                if not np.isclose(r, x @ y):
-                    raise RuntimeError("validation failed")
-                flops = 2.0 * n_vec
-                m = measure(lambda: native(n_vec, x, y), batches=batches)
+            if prep.error is not None:
+                raise RuntimeError(prep.error)
+            if prep.cached_gflops is not None:
+                trials.append(TrialResult(cand, prep.cached_gflops,
+                                          cached=True))
             else:
-                raise KeyError(f"unknown kernel {kernel!r}")
-            gf = m.gflops(flops)
-            trials.append(TrialResult(cand, gf))
-            if gf > best_gf:
-                best, best_gf = cand, gf
+                native = prep.native
+                if kernel == "gemm":
+                    if not _validate_gemm(native, layout, rng):
+                        raise RuntimeError("validation failed")
+                    run, flops = _gemm_workload(rng)
+                    m = measure(lambda: run(native), batches=batches)
+                elif kernel == "gemv":
+                    mdim = 1 << 10
+                    ncols = 64
+                    a = rng.standard_normal(ncols * mdim)
+                    yv = np.zeros(mdim)
+                    xv = rng.standard_normal(ncols)
+                    ref = a.reshape(ncols, mdim).T @ xv
+                    native(mdim, ncols, a, mdim, xv, yv)
+                    if not np.allclose(yv, ref):
+                        raise RuntimeError("validation failed")
+                    flops = 2.0 * mdim * ncols
+                    # time against the per-candidate accumulator, not a
+                    # buffer any later validation compares against
+                    m = measure(lambda: native(mdim, ncols, a, mdim, xv, yv),
+                                batches=batches)
+                elif kernel == "axpy":
+                    yv = y.copy()
+                    native(n_vec, 1.5, x, yv)
+                    if not np.allclose(yv, y + 1.5 * x):
+                        raise RuntimeError("validation failed")
+                    flops = 2.0 * n_vec
+                    # y += alpha*x mutates in place: timing thousands of
+                    # calls against the shared ``y`` used to blow up the
+                    # very vector later candidates validate against — time
+                    # against a scratch copy instead
+                    yt = y.copy()
+                    m = measure(lambda: native(n_vec, 1.5, x, yt),
+                                batches=batches)
+                elif kernel == "dot":
+                    r = native(n_vec, x, y)
+                    if not np.isclose(r, x @ y):
+                        raise RuntimeError("validation failed")
+                    flops = 2.0 * n_vec
+                    m = measure(lambda: native(n_vec, x, y), batches=batches)
+                else:
+                    raise KeyError(f"unknown kernel {kernel!r}")
+                gf = m.gflops(flops)
+                trials.append(TrialResult(cand, gf))
+                if reuse and prep.generated is not None:
+                    cache.store_tuning(
+                        _measurement_key(kernel_key, arch, prep.generated,
+                                         batches),
+                        {"kernel": kernel_key, "arch": arch.name,
+                         "candidate": cand.describe(), "gflops": gf,
+                         "best_seconds": m.best, "batches": batches})
+            if trials[-1].gflops > best_gf:
+                best, best_gf = cand, trials[-1].gflops
         except Exception as exc:  # noqa: BLE001 - record and move on
             trials.append(TrialResult(cand, -1.0, error=str(exc)[:120]))
         if verbose:

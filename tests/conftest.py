@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+import os
 import subprocess
 
 import numpy as np
 import pytest
+
+# Hermetic by default: unless the invoker points REPRO_CACHE_DIR somewhere
+# explicitly, the persistent kernel cache is disabled for the whole suite
+# so test runs neither read nor pollute ~/.cache/repro-augem. Cache tests
+# opt back in with monkeypatch.setenv + reset_cache() against a tmp_path.
+os.environ.setdefault("REPRO_CACHE_DIR", "off")
 
 from repro.backend.compiler import have_native_toolchain
 from repro.isa.arch import GENERIC_SSE, HASWELL, PILEDRIVER, SANDYBRIDGE, detect_host

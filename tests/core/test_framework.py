@@ -2,9 +2,37 @@
 
 import pytest
 
-from repro.core.framework import Augem, default_config
+from repro.core.framework import Augem, default_config, stable_kernel_name
 from repro.isa.arch import GENERIC_SSE, HASWELL, PILEDRIVER, SANDYBRIDGE
 from repro.isa.instructions import Instr
+from repro.transforms.pipeline import OptimizationConfig
+
+
+def test_content_hash_stable_and_content_addressed():
+    cfg = OptimizationConfig(unroll=(("i", 4),))
+    gk1 = Augem(arch=HASWELL).generate_named("axpy", config=cfg, name="k")
+    gk2 = Augem(arch=HASWELL).generate_named("axpy", config=cfg, name="k")
+    assert gk1.content_hash == gk2.content_hash
+    # different config, symbol name, or arch => different address
+    other_cfg = Augem(arch=HASWELL).generate_named(
+        "axpy", config=OptimizationConfig(unroll=(("i", 8),)), name="k")
+    other_name = Augem(arch=HASWELL).generate_named("axpy", config=cfg,
+                                                    name="k2")
+    other_arch = Augem(arch=GENERIC_SSE).generate_named("axpy", config=cfg,
+                                                        name="k")
+    assert len({gk1.content_hash, other_cfg.content_hash,
+                other_name.content_hash, other_arch.content_hash}) == 4
+
+
+def test_stable_kernel_name_deterministic_and_distinct():
+    cfg_a = OptimizationConfig(unroll=(("i", 4),))
+    cfg_b = OptimizationConfig(unroll=(("i", 8),))
+    name = stable_kernel_name("axpy", HASWELL, cfg_a)
+    assert name == stable_kernel_name("axpy", HASWELL, cfg_a)
+    assert name.isidentifier()  # must be a legal exported symbol
+    assert name != stable_kernel_name("axpy", HASWELL, cfg_b)
+    assert name != stable_kernel_name("axpy", GENERIC_SSE, cfg_a)
+    assert name != stable_kernel_name("axpy", HASWELL, cfg_a, "shuf")
 
 
 @pytest.mark.parametrize("kernel", ["gemm", "gemm_shuf", "gemv", "axpy", "dot"])

@@ -1,5 +1,10 @@
 """Top-level CLI tests (python -m repro ...)."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -63,3 +68,45 @@ def test_verbose_prints_low_level_c(tmp_path, capsys):
           "-o", str(tmp_path / "x.S")])
     err = capsys.readouterr().err
     assert "low-level C" in err
+
+
+def test_cache_stats_exits_zero_when_disabled(capsys, monkeypatch):
+    from repro.backend.cache import reset_cache
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+    reset_cache()
+    try:
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "(disabled)" in out
+        assert main(["cache", "clear"]) == 0
+    finally:
+        reset_cache()
+
+
+def test_cache_stats_and_clear_on_real_store(capsys, tmp_path, monkeypatch):
+    from repro.backend.cache import get_cache, reset_cache
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    reset_cache()
+    try:
+        get_cache().store_tuning("a" * 24, {"gflops": 1.0})
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "tuning records:   1" in out
+        assert main(["cache", "clear"]) == 0
+        assert "cleared 1" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "tuning records:   0" in capsys.readouterr().out
+    finally:
+        reset_cache()
+
+
+def test_cache_stats_smoke_real_invocation():
+    """CI smoke check: the real command exits 0 with the cache disabled."""
+    env = dict(os.environ, REPRO_CACHE_DIR="off",
+               PYTHONPATH=str(Path(__file__).resolve().parents[1] / "src"))
+    proc = subprocess.run([sys.executable, "-m", "repro", "cache", "stats"],
+                          capture_output=True, text=True, env=env)
+    assert proc.returncode == 0, proc.stderr
+    assert "cache root" in proc.stdout

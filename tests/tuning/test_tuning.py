@@ -1,5 +1,9 @@
 """Tuning space and search tests."""
 
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.isa.arch import GENERIC_SSE, HASWELL
@@ -76,6 +80,130 @@ def test_tune_kernel_picks_a_valid_winner():
     assert result.best_gflops > 0
     assert len(result.trials) == 2
     assert "tuning axpy" in result.report()
+
+
+@pytest.fixture
+def tuning_store(tmp_path, monkeypatch):
+    """A fresh persistent store so tuning tests exercise reuse."""
+    from repro.backend.cache import reset_cache
+    from repro.backend.compiler import reset_so_cache
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    reset_cache()
+    reset_so_cache()
+    yield tmp_path / "store"
+    reset_cache()
+    reset_so_cache()
+
+
+@needs_cc
+def test_parallel_tuning_matches_serial_winner(tuning_store):
+    """jobs>1 must pick the same best candidate as the serial search."""
+    from repro.backend.cache import get_cache
+
+    cands = [
+        Candidate(OptimizationConfig(unroll=(("i", 4),))),
+        Candidate(OptimizationConfig(unroll=(("i", 8),))),
+        Candidate(OptimizationConfig(unroll_jam=(("j", 8), ("i", 16)))),  # fails
+    ]
+    serial = tune_kernel("axpy", candidates=cands, batches=2)
+    parallel = tune_kernel("axpy", candidates=cands, batches=2, jobs=2)
+    assert parallel.best is serial.best
+    assert parallel.best_gflops == serial.best_gflops
+    # the second search replayed every persisted measurement (the failing
+    # candidate fails again instead of being replayed)
+    ok = [t for t in parallel.trials if t.gflops >= 0]
+    assert ok and all(t.cached for t in ok)
+    assert [t.candidate for t in parallel.trials] == cands  # order kept
+    assert get_cache().stats.tuning_hits == len(ok)
+
+
+@needs_cc
+def test_warm_retune_invokes_no_toolchain(tuning_store):
+    """Re-tuning with a warm store must rebuild and re-time nothing."""
+    from repro.backend.cache import get_cache
+    from repro.backend.compiler import reset_so_cache
+
+    cands = [Candidate(OptimizationConfig(unroll=(("i", 4),)))]
+    tune_kernel("axpy", candidates=cands, batches=2)
+    reset_so_cache()  # simulate a fresh process
+    before = get_cache().stats.toolchain_invocations
+    result = tune_kernel("axpy", candidates=cands, batches=2)
+    assert get_cache().stats.toolchain_invocations == before
+    assert result.trials[0].cached
+
+
+@needs_cc
+def test_retune_without_reuse_retimes(tuning_store):
+    cands = [Candidate(OptimizationConfig(unroll=(("i", 4),)))]
+    tune_kernel("axpy", candidates=cands, batches=2)
+    result = tune_kernel("axpy", candidates=cands, batches=2, reuse=False)
+    assert not result.trials[0].cached
+    assert result.best_gflops > 0
+
+
+@needs_cc
+def test_timed_axpy_uses_scratch_not_shared_y(tuning_store, monkeypatch):
+    """The timing loop must never mutate the shared validation vector.
+
+    Historically ``measure`` was handed ``lambda: native(n, 1.5, x, y)``
+    with the *shared* ``y``, so thousands of timed calls accumulated
+    ``1.5*x`` into the vector every later candidate validates against.
+    Capture the timed closures for two candidates: they must share exactly
+    one vector-length array (the read-only ``x``) — the accumulated-into
+    target has to be a fresh per-candidate scratch.
+    """
+    import numpy as np
+
+    from repro.backend.timer import measure as real_measure
+
+    captured = []
+
+    def spy_measure(fn, batches=5, **kw):
+        # snapshot at call time: the closure cells are shared across loop
+        # iterations, so inspecting later would see the last binding
+        captured.append({id(c.cell_contents) for c in fn.__closure__ or ()
+                         if isinstance(c.cell_contents, np.ndarray)
+                         and c.cell_contents.size == 1 << 16})
+        return real_measure(fn, batches=1, calls_per_batch=1)
+
+    monkeypatch.setattr("repro.tuning.search.measure", spy_measure)
+    cand = Candidate(OptimizationConfig(unroll=(("i", 4),)))
+    result = tune_kernel("axpy", candidates=[cand, cand], batches=3,
+                         reuse=False)
+    assert all(t.gflops > 0 for t in result.trials), [
+        t.error for t in result.trials]
+    assert len(captured) == 2
+    assert len(captured[0] & captured[1]) == 1
+
+
+_TUNE_CHILD = r"""
+from repro.tuning.search import tune_kernel
+from repro.tuning.space import Candidate
+from repro.transforms.pipeline import OptimizationConfig
+from repro.backend.cache import get_cache
+cands = [Candidate(OptimizationConfig(unroll=(("i", 4),))),
+         Candidate(OptimizationConfig(unroll=(("i", 8),)))]
+r = tune_kernel("axpy", candidates=cands, batches=2, jobs=2)
+print("RESULT", get_cache().stats.toolchain_invocations, r.best.describe())
+"""
+
+
+@needs_cc
+def test_fresh_process_retune_reuses_on_disk_artifacts(tmp_path):
+    """Acceptance: a second tune run in a fresh process is zero-toolchain."""
+    env = {"REPRO_CACHE_DIR": str(tmp_path / "store"),
+           "PYTHONPATH": str(Path(__file__).resolve().parents[2] / "src"),
+           "PATH": "/usr/bin:/bin", "HOME": str(tmp_path)}
+    outs = []
+    for _ in range(2):
+        proc = subprocess.run([sys.executable, "-c", _TUNE_CHILD],
+                              capture_output=True, text=True, env=env)
+        assert proc.returncode == 0, proc.stderr
+        outs.append(proc.stdout.strip().splitlines()[-1].split(maxsplit=2))
+    assert int(outs[0][1]) > 0    # cold run drove the toolchain
+    assert int(outs[1][1]) == 0   # warm run: zero toolchain invocations
+    assert outs[0][2] == outs[1][2]  # and the same winner
 
 
 @needs_cc
