@@ -7,6 +7,7 @@ Usage::
     python -m repro generate dot --nu 0 --unroll i=16 --split res=16
     python -m repro validate dgemm.S --kernel gemm
     python -m repro tune axpy --jobs 4
+    python -m repro tune gemm --isolation=fork --trial-timeout=30
     python -m repro cache stats
 
 ``generate`` writes (or prints) a complete GAS kernel; ``validate``
@@ -145,10 +146,18 @@ def cmd_validate(args) -> int:
 
 
 def cmd_tune(args) -> int:
+    from .backend.compiler import ToolchainUnavailable
     from .tuning.search import tune_kernel
 
-    result = tune_kernel(args.kernel, verbose=args.verbose, jobs=args.jobs,
-                         reuse=not args.no_reuse)
+    try:
+        result = tune_kernel(
+            args.kernel, verbose=args.verbose, jobs=args.jobs,
+            reuse=not args.no_reuse,
+            isolation=None if args.isolation == "auto" else args.isolation,
+            trial_timeout=args.trial_timeout)
+    except ToolchainUnavailable as exc:
+        print(f"tuning unavailable: {exc}", file=sys.stderr)
+        return 2
     print(result.report())
     return 0
 
@@ -169,6 +178,7 @@ def cmd_cache(args) -> int:
     print(f"cache root:      {inv['root']}")
     print(f"compiled entries: {inv['entries']} ({inv['bytes']} bytes)")
     print(f"tuning records:   {inv['tuning_records']}")
+    print(f"quarantined:      {inv['quarantined']}")
     print(f"cumulative:       {totals.describe()}")
     return 0
 
@@ -211,6 +221,16 @@ def main(argv=None) -> int:
                         "serial)")
     t.add_argument("--no-reuse", action="store_true",
                    help="ignore persisted tuning measurements")
+    t.add_argument("--isolation", choices=["auto", "fork", "none"],
+                   default="auto",
+                   help="run each candidate's validation in a sandboxed "
+                        "subprocess so crashes/hangs become failed trials "
+                        "(auto: fork when the platform supports it)")
+    t.add_argument("--trial-timeout", type=float, default=30.0,
+                   metavar="SEC",
+                   help="wall-clock limit per isolated trial; a candidate "
+                        "that exceeds it is killed and quarantined "
+                        "(<= 0 disables)")
     t.add_argument("-v", "--verbose", action="store_true")
 
     c = sub.add_parser("cache", help="inspect or clear the kernel cache")

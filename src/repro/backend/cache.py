@@ -56,7 +56,10 @@ class CacheStats:
     puts: int = 0            # entries published to disk
     tuning_hits: int = 0     # persisted tuning measurements reused
     tuning_puts: int = 0     # tuning measurements persisted
+    quarantine_hits: int = 0  # known-crashing candidates skipped
+    quarantine_puts: int = 0  # candidates newly quarantined
     toolchain_invocations: int = 0
+    toolchain_retries: int = 0  # transient-failure retry attempts
     build_seconds: float = 0.0  # wall time spent inside the toolchain
 
     @property
@@ -74,7 +77,10 @@ class CacheStats:
             f"misses={self.misses} evictions={self.evictions} "
             f"errors={self.errors} puts={self.puts} "
             f"tuning hits={self.tuning_hits} puts={self.tuning_puts} "
+            f"quarantine hits={self.quarantine_hits} "
+            f"puts={self.quarantine_puts} "
             f"toolchain calls={self.toolchain_invocations} "
+            f"retries={self.toolchain_retries} "
             f"build time={self.build_seconds:.2f}s"
         )
 
@@ -96,6 +102,7 @@ class KernelCache:
 
         objects/<k0:2>/<key>/   one compiled entry: meta.json + *.so
         tuning/<k0:2>/<key>.json   one persisted tuning measurement
+        quarantine/<k0:2>/<key>.json   one known-crashing candidate
         tmp/                    scratch for atomic publishes
         stats.json              cumulative counters across processes
     """
@@ -116,6 +123,9 @@ class KernelCache:
 
     def _tuning_path(self, key: str) -> Path:
         return self.root / "tuning" / key[:2] / f"{key}.json"
+
+    def _quarantine_path(self, key: str) -> Path:
+        return self.root / "quarantine" / key[:2] / f"{key}.json"
 
     def _scratch(self) -> Path:
         tmp = self.root / "tmp"
@@ -226,6 +236,45 @@ class KernelCache:
             return
         self.stats.tuning_puts += 1
 
+    # -- candidate quarantine ----------------------------------------------
+    #
+    # A candidate that crashed or hung in the isolated worker is recorded
+    # here (keyed like the tuning measurements, by the generated kernel's
+    # content hash) so a re-tuning run skips it without re-executing the
+    # crash.  ``clear()`` resets the quarantine along with everything else.
+
+    def load_quarantine(self, key: str) -> Optional[Dict[str, Any]]:
+        if not self.enabled:
+            return None
+        try:
+            record = json.loads(self._quarantine_path(key).read_text())
+        except (FileNotFoundError, NotADirectoryError):
+            return None
+        except Exception:
+            self.stats.errors += 1
+            try:
+                self._quarantine_path(key).unlink()
+                self.stats.evictions += 1
+            except OSError:
+                pass
+            return None
+        self.stats.quarantine_hits += 1
+        return record
+
+    def store_quarantine(self, key: str, record: Dict[str, Any]) -> None:
+        if not self.enabled:
+            return
+        path = self._quarantine_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f".{path.name}.{uuid.uuid4().hex}.tmp")
+            tmp.write_text(json.dumps(record, indent=2))
+            os.replace(tmp, path)
+        except OSError:
+            self.stats.errors += 1  # quarantine is best-effort too
+            return
+        self.stats.quarantine_puts += 1
+
     # -- maintenance -------------------------------------------------------
 
     def clear(self) -> int:
@@ -244,6 +293,10 @@ class KernelCache:
         if tuning.exists():
             removed += sum(1 for p in tuning.rglob("*.json"))
             shutil.rmtree(tuning, ignore_errors=True)
+        quarantine = self.root / "quarantine"
+        if quarantine.exists():
+            removed += sum(1 for p in quarantine.rglob("*.json"))
+            shutil.rmtree(quarantine, ignore_errors=True)
         shutil.rmtree(self.root / "tmp", ignore_errors=True)
         stats_path = self.root / "stats.json"
         if stats_path.exists():
@@ -255,7 +308,7 @@ class KernelCache:
         """Store-wide entry counts and byte totals (for ``cache stats``)."""
         info: Dict[str, Any] = {
             "root": str(self.root) if self.enabled else "(disabled)",
-            "entries": 0, "bytes": 0, "tuning_records": 0,
+            "entries": 0, "bytes": 0, "tuning_records": 0, "quarantined": 0,
         }
         if not self.enabled or not self.root.exists():
             return info
@@ -269,6 +322,9 @@ class KernelCache:
         tuning = self.root / "tuning"
         if tuning.exists():
             info["tuning_records"] = sum(1 for _ in tuning.rglob("*.json"))
+        quarantine = self.root / "quarantine"
+        if quarantine.exists():
+            info["quarantined"] = sum(1 for _ in quarantine.rglob("*.json"))
         return info
 
     # -- cumulative stats --------------------------------------------------

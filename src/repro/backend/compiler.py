@@ -28,10 +28,20 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from .cache import get_cache
+from .faults import take_fault
 
 
 class ToolchainError(RuntimeError):
     """Compilation or assembly failed; message carries the tool output."""
+
+
+class ToolchainUnavailable(ToolchainError):
+    """No usable compiler/assembler on this host.
+
+    A distinct subclass so callers (the tuner, test skip markers, the
+    bench harness) can degrade gracefully — skip the native path with a
+    clear message — instead of treating it like a broken build.
+    """
 
 
 def find_cc() -> str:
@@ -42,7 +52,9 @@ def find_cc() -> str:
     for cand in ("gcc", "cc", "clang"):
         if shutil.which(cand):
             return cand
-    raise ToolchainError("no C compiler found (set $CC)")
+    raise ToolchainUnavailable(
+        "no C compiler/assembler found on PATH (set $CC); native kernel "
+        "execution is unavailable on this host")
 
 
 def have_native_toolchain() -> bool:
@@ -95,16 +107,68 @@ def _scratch_dir() -> Path:
     return _SCRATCH_DIR
 
 
-def _run(cmd: Sequence[str]) -> None:
+#: per-invocation wall-clock ceiling (seconds); $REPRO_TOOLCHAIN_TIMEOUT
+_DEFAULT_TOOL_TIMEOUT = 120.0
+#: total attempts per invocation for transient failures; $REPRO_TOOLCHAIN_RETRIES
+_DEFAULT_TOOL_ATTEMPTS = 3
+_RETRY_BACKOFF = 0.05  # seconds; doubles per retry, capped at 1s
+
+
+def _tool_limits() -> tuple:
+    try:
+        timeout = float(os.environ.get("REPRO_TOOLCHAIN_TIMEOUT",
+                                       _DEFAULT_TOOL_TIMEOUT))
+    except ValueError:
+        timeout = _DEFAULT_TOOL_TIMEOUT
+    try:
+        attempts = int(os.environ.get("REPRO_TOOLCHAIN_RETRIES",
+                                      _DEFAULT_TOOL_ATTEMPTS))
+    except ValueError:
+        attempts = _DEFAULT_TOOL_ATTEMPTS
+    return max(timeout, 1.0), max(attempts, 1)
+
+
+def _run(cmd: Sequence[str], tag: str = "") -> None:
+    """Run one toolchain command with timeout and bounded retry.
+
+    Transient failures (a hung or OOM-killed tool, exec errors, injected
+    faults) are retried with exponential backoff; a *diagnostic* failure
+    (nonzero exit with compiler output — a genuinely bad source) is
+    raised immediately, since retrying a deterministic error only wastes
+    the attempt budget.
+    """
     stats = get_cache().stats
-    stats.toolchain_invocations += 1
-    t0 = time.perf_counter()
-    proc = subprocess.run(cmd, capture_output=True, text=True)
-    stats.build_seconds += time.perf_counter() - t0
-    if proc.returncode != 0:
+    timeout, attempts = _tool_limits()
+    last = "unknown transient failure"
+    for attempt in range(attempts):
+        if attempt:
+            stats.toolchain_retries += 1
+            time.sleep(min(_RETRY_BACKOFF * (2 ** (attempt - 1)), 1.0))
+        if take_fault("toolchain", tag=tag):
+            last = f"injected toolchain fault (tag {tag!r})"
+            continue
+        stats.toolchain_invocations += 1
+        t0 = time.perf_counter()
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True,
+                                  timeout=timeout)
+        except subprocess.TimeoutExpired:
+            stats.build_seconds += time.perf_counter() - t0
+            last = f"timed out after {timeout:g}s"
+            continue
+        except OSError as exc:
+            stats.build_seconds += time.perf_counter() - t0
+            last = f"{type(exc).__name__}: {exc}"
+            continue
+        stats.build_seconds += time.perf_counter() - t0
+        if proc.returncode == 0:
+            return
         raise ToolchainError(
             f"command failed: {' '.join(cmd)}\n{proc.stdout}\n{proc.stderr}"
         )
+    raise ToolchainError(
+        f"command failed after {attempts} attempts: {' '.join(cmd)} "
+        f"(last error: {last})")
 
 
 @dataclass
@@ -142,10 +206,11 @@ def _compile_into(cc: str, workdir: Path, sources: Dict[str, str],
         flags = ["-O2", "-fPIC"]
         if fname.endswith(".c"):
             flags += list(extra_flags)
-        _run([cc, "-c", str(src_path), "-o", str(obj_path)] + flags)
+        _run([cc, "-c", str(src_path), "-o", str(obj_path)] + flags,
+             tag=tag)
         objects.append(str(obj_path))
     so_name = f"lib{tag}.so"
-    _run([cc, "-shared", "-o", str(workdir / so_name)] + objects)
+    _run([cc, "-shared", "-o", str(workdir / so_name)] + objects, tag=tag)
     return so_name
 
 

@@ -1,0 +1,190 @@
+"""Deterministic fault injection for robustness testing.
+
+The empirical tuner must survive candidates that crash, hang, compute
+garbage, or fail to build — but such candidates appear nondeterministically
+in real searches, which makes the failure paths untestable by accident
+alone.  This module lets tests and the bench harness *plan* faults at
+chosen candidates so the isolation machinery can be proven end-to-end.
+
+A plan is a list of specs, each ``kind@match[:count]``:
+
+``kind``
+    ``segv``  — dereference a null pointer at kernel entry (SIGSEGV)
+    ``ill``   — execute ``ud2`` at kernel entry (SIGILL)
+    ``hang``  — spin forever at kernel entry (trips the trial timeout)
+    ``wrong`` — return immediately, producing wrong results (fails
+    validation, but never crashes)
+    ``toolchain`` — make one assembler/compiler invocation fail (exercises
+    the bounded-retry path in :mod:`repro.backend.compiler`)
+
+``match``
+    ``#N`` fires at candidate index ``N`` (asm-stage faults only); any
+    other string fires when it is a substring of the stage tag (the
+    kernel symbol name for asm faults, the source tag for toolchain
+    faults).
+
+``count``
+    optional; the fault fires at most this many times, then disarms
+    (models *transient* toolchain failures: ``toolchain@k:2`` fails the
+    first two attempts and lets the retry loop succeed on the third).
+
+Specs are separated by ``;`` or ``,``.  Plans come from the
+``REPRO_FAULT_INJECT`` environment variable (re-read whenever it changes,
+so a monkeypatched env takes effect immediately) or are installed
+programmatically with :func:`install_fault_plan`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional
+
+#: kinds realized by rewriting the generated assembly
+ASM_KINDS = frozenset({"segv", "ill", "hang", "wrong"})
+#: kinds realized inside the toolchain driver
+TOOLCHAIN_KINDS = frozenset({"toolchain"})
+ALL_KINDS = ASM_KINDS | TOOLCHAIN_KINDS
+
+
+class FaultPlanError(ValueError):
+    """A malformed ``REPRO_FAULT_INJECT`` / plan spec."""
+
+
+@dataclass
+class FaultSpec:
+    """One planned fault: what to inject, where, and how many times."""
+
+    kind: str
+    match: str
+    remaining: Optional[int] = None  # None = fires every time it matches
+
+    @property
+    def stage(self) -> str:
+        return "toolchain" if self.kind in TOOLCHAIN_KINDS else "asm"
+
+    def matches(self, tag: str, index: Optional[int]) -> bool:
+        if self.match.startswith("#"):
+            return index is not None and index == int(self.match[1:])
+        return bool(self.match) and self.match in (tag or "")
+
+
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec` with firing-count state."""
+
+    def __init__(self, specs: List[FaultSpec]) -> None:
+        self.specs = list(specs)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        specs: List[FaultSpec] = []
+        for chunk in text.replace(";", ",").split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            kind, sep, rest = chunk.partition("@")
+            kind = kind.strip()
+            if not sep or kind not in ALL_KINDS:
+                raise FaultPlanError(
+                    f"bad fault spec {chunk!r}; expected kind@match[:count] "
+                    f"with kind in {sorted(ALL_KINDS)}")
+            match, _, count = rest.partition(":")
+            match = match.strip()
+            if not match:
+                raise FaultPlanError(f"fault spec {chunk!r} has empty match")
+            if match.startswith("#") and not match[1:].isdigit():
+                raise FaultPlanError(
+                    f"fault spec {chunk!r}: index match must be #<int>")
+            remaining: Optional[int] = None
+            if count:
+                try:
+                    remaining = int(count)
+                except ValueError:
+                    raise FaultPlanError(
+                        f"fault spec {chunk!r}: count must be an int") from None
+                if remaining <= 0:
+                    raise FaultPlanError(
+                        f"fault spec {chunk!r}: count must be positive")
+            specs.append(FaultSpec(kind=kind, match=match,
+                                   remaining=remaining))
+        return cls(specs)
+
+    def take(self, stage: str, tag: str = "",
+             index: Optional[int] = None) -> Optional[str]:
+        """Fire (and consume one shot of) the first matching spec."""
+        for spec in self.specs:
+            if spec.stage != stage or not spec.matches(tag, index):
+                continue
+            if spec.remaining is not None:
+                if spec.remaining <= 0:
+                    continue
+                spec.remaining -= 1
+            return spec.kind
+        return None
+
+
+_INSTALLED: Optional[FaultPlan] = None
+_ENV_RAW: Optional[str] = None
+_ENV_PLAN: Optional[FaultPlan] = None
+
+
+def install_fault_plan(plan: Optional[FaultPlan]) -> None:
+    """Programmatic override (tests); ``None`` restores env-driven plans."""
+    global _INSTALLED
+    _INSTALLED = plan
+
+
+def clear_fault_plan() -> None:
+    """Drop any installed plan and forget the parsed-env cache."""
+    global _INSTALLED, _ENV_RAW, _ENV_PLAN
+    _INSTALLED = None
+    _ENV_RAW = None
+    _ENV_PLAN = None
+
+
+def get_fault_plan() -> Optional[FaultPlan]:
+    """The active plan: installed > ``$REPRO_FAULT_INJECT`` > none."""
+    global _ENV_RAW, _ENV_PLAN
+    if _INSTALLED is not None:
+        return _INSTALLED
+    raw = os.environ.get("REPRO_FAULT_INJECT", "").strip()
+    if not raw:
+        _ENV_RAW, _ENV_PLAN = None, None
+        return None
+    if raw != _ENV_RAW:
+        _ENV_RAW, _ENV_PLAN = raw, FaultPlan.parse(raw)
+    return _ENV_PLAN
+
+
+def take_fault(stage: str, tag: str = "",
+               index: Optional[int] = None) -> Optional[str]:
+    """Consume a planned fault for ``stage``/``tag``; ``None`` if unarmed."""
+    plan = get_fault_plan()
+    return plan.take(stage, tag, index) if plan is not None else None
+
+
+#: instruction payloads inserted at function entry, by fault kind
+_ASM_PAYLOADS = {
+    "segv": "\txorq\t%rax, %rax\n\tmovq\t(%rax), %rax\t# injected fault",
+    "ill": "\tud2\t# injected fault",
+    "hang": "1:\tjmp\t1b\t# injected fault",
+    "wrong": "\tret\t# injected fault",
+}
+
+
+def inject_asm_fault(kind: str, asm_text: str, symbol: str) -> str:
+    """Rewrite a generated kernel so it misbehaves at entry.
+
+    The payload lands immediately after the ``symbol:`` label, before the
+    prologue, so ``wrong`` (an early ``ret``) leaves the stack balanced.
+    """
+    payload = _ASM_PAYLOADS.get(kind)
+    if payload is None:
+        raise FaultPlanError(f"unknown asm fault kind {kind!r}")
+    label = f"{symbol}:"
+    lines = asm_text.splitlines()
+    for i, line in enumerate(lines):
+        if line.strip() == label:
+            lines.insert(i + 1, payload)
+            return "\n".join(lines) + ("\n" if asm_text.endswith("\n") else "")
+    raise FaultPlanError(f"symbol label {label!r} not found in assembly")

@@ -4,6 +4,13 @@ Each runner wraps a compiled symbol with the argument signature of the
 corresponding simple-C kernel and numpy-array marshalling.  These are the
 *micro-kernel* entry points; the packing/blocking drivers in
 :mod:`repro.blas` compose them into full BLAS routines.
+
+Loading raises :class:`~repro.backend.compiler.ToolchainUnavailable` when
+the host has no assembler; callers that can degrade (the tuner, test skip
+markers) catch that subclass specifically.  *Executing* a loaded kernel
+is only crash-safe inside the fault-isolated worker of
+:mod:`repro.backend.sandbox` — a bad candidate run in-process takes the
+interpreter down with it.
 """
 
 from __future__ import annotations
@@ -21,7 +28,14 @@ _DP = ctypes.POINTER(ctypes.c_double)
 
 
 def _ptr(a: np.ndarray) -> "ctypes._Pointer":
-    assert a.dtype == np.float64 and a.flags.c_contiguous
+    # explicit checks, not asserts: handing a native kernel a pointer to
+    # the wrong dtype or a strided view corrupts memory instead of
+    # raising, and asserts vanish under ``python -O``
+    if a.dtype != np.float64:
+        raise TypeError(f"kernel buffers must be float64, got {a.dtype}")
+    if not a.flags.c_contiguous:
+        raise ValueError("kernel buffers must be C-contiguous "
+                         "(pass a copy of the strided view)")
     return a.ctypes.data_as(_DP)
 
 

@@ -1,0 +1,191 @@
+"""Fault-isolated execution of candidate kernels.
+
+The tuner probes exactly the configurations where generated code is most
+likely to be wrong — extreme unroll factors, register-allocation edge
+cases — so a candidate that SIGSEGVs, executes an illegal instruction, or
+spins forever is an *expected* outcome of the search, not an exceptional
+one.  Running candidates in the tuner's own process (dlopen + ctypes)
+turns any such candidate into the death of the whole search.
+
+This module runs a trial closure in a **forked worker subprocess** with a
+wall-clock timeout.  The fork inherits the dlopened shared object and the
+prepared numpy buffers copy-on-write, so no pickling of the kernel is
+needed; only the (small) result travels back over a pipe.  Whatever the
+candidate does — crash, hang, exit, raise — the parent receives a
+structured :class:`SandboxResult` and the search continues.
+
+The child exits with :func:`os._exit`, never ``sys.exit``: atexit handlers
+(cache-stats flush, scratch-dir cleanup) belong to the parent and must not
+run — or worse, *remove shared state* — in the worker.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import select
+import signal
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+#: trial outcome categories (mirrored in ``TrialResult.category``)
+CATEGORIES = ("ok", "failed", "crashed", "timeout")
+
+
+@dataclass
+class SandboxResult:
+    """Structured outcome of one isolated trial."""
+
+    category: str  # "ok" | "failed" | "crashed" | "timeout"
+    value: Any = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.category == "ok"
+
+
+def fork_supported() -> bool:
+    """Whether POSIX fork-based isolation is available on this host."""
+    return hasattr(os, "fork") and sys.platform != "win32"
+
+
+def resolve_isolation(requested: Optional[str]) -> str:
+    """Map a user-facing isolation request to a concrete mode.
+
+    ``None``/``"auto"`` selects ``"fork"`` when the platform supports it
+    and degrades to ``"none"`` otherwise (isolation by default: a crashy
+    candidate should never be able to kill a search that never asked to
+    live dangerously).
+    """
+    if requested in (None, "auto"):
+        return "fork" if fork_supported() else "none"
+    if requested not in ("fork", "none"):
+        raise ValueError(f"unknown isolation mode {requested!r}; "
+                         f"expected 'fork', 'none', or 'auto'")
+    if requested == "fork" and not fork_supported():
+        raise RuntimeError("isolation='fork' requested but os.fork is "
+                           "unavailable on this platform")
+    return requested
+
+
+def _signal_name(signum: int) -> str:
+    try:
+        return signal.Signals(signum).name
+    except ValueError:
+        return f"signal {signum}"
+
+
+def _format_exc(exc: BaseException, limit: int = 200) -> str:
+    return f"{type(exc).__name__}: {exc}"[:limit]
+
+
+def run_sandboxed(fn: Callable[[], Any], timeout: Optional[float] = None,
+                  tag: str = "candidate") -> SandboxResult:
+    """Run ``fn`` in a forked child; classify crash/hang/raise/return.
+
+    :param timeout: wall-clock seconds the child may run (``None`` = no
+        limit); on expiry the child is SIGKILLed and the result category
+        is ``"timeout"``.
+    :param tag: human-readable trial identity for error messages.
+    """
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:  # ---- child: run, report, _exit (never unwind further)
+        try:
+            os.close(read_fd)
+            try:
+                # a crashing candidate is an *expected* outcome here; the
+                # parent reports the signal, so suppress the inherited
+                # faulthandler dump (pytest enables it by default)
+                import faulthandler
+                faulthandler.disable()
+            except Exception:
+                pass
+            try:
+                payload = pickle.dumps(("ok", fn()))
+            except BaseException as exc:  # noqa: BLE001 - classified in parent
+                try:
+                    payload = pickle.dumps(("exc", _format_exc(exc)))
+                except Exception:
+                    payload = pickle.dumps(("exc", type(exc).__name__))
+            off = 0
+            while off < len(payload):
+                off += os.write(write_fd, payload[off:])
+            os.close(write_fd)
+        finally:
+            os._exit(0)
+
+    # ---- parent: read until EOF or deadline, then reap
+    os.close(write_fd)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    chunks = []
+    timed_out = False
+    try:
+        while True:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    timed_out = True
+                    break
+            ready, _, _ = select.select([read_fd], [], [], remaining)
+            if not ready:
+                timed_out = True
+                break
+            data = os.read(read_fd, 1 << 16)
+            if not data:
+                break
+            chunks.append(data)
+    finally:
+        os.close(read_fd)
+
+    if timed_out:
+        os.kill(pid, signal.SIGKILL)
+        os.waitpid(pid, 0)
+        return SandboxResult(
+            "timeout",
+            error=f"timeout after {timeout:g}s in candidate {tag} "
+                  f"(isolated worker killed)")
+
+    _, status = os.waitpid(pid, 0)
+    if os.WIFSIGNALED(status):
+        name = _signal_name(os.WTERMSIG(status))
+        return SandboxResult(
+            "crashed", error=f"{name} in candidate {tag} (isolated worker)")
+    if not chunks:
+        code = os.WEXITSTATUS(status) if os.WIFEXITED(status) else status
+        return SandboxResult(
+            "crashed",
+            error=f"worker for candidate {tag} died without a result "
+                  f"(exit status {code})")
+    try:
+        kind, value = pickle.loads(b"".join(chunks))
+    except Exception as exc:  # truncated/garbled pipe payload
+        return SandboxResult(
+            "crashed",
+            error=f"unreadable result from candidate {tag} worker "
+                  f"({_format_exc(exc)})")
+    if kind == "exc":
+        return SandboxResult("failed", error=value)
+    return SandboxResult("ok", value=value)
+
+
+def run_trial(fn: Callable[[], Any], isolation: str = "fork",
+              timeout: Optional[float] = None,
+              tag: str = "candidate") -> SandboxResult:
+    """Run one trial under the given isolation mode.
+
+    ``"fork"`` gives full crash/hang protection via :func:`run_sandboxed`;
+    ``"none"`` runs inline (no protection against native crashes or hangs,
+    but Python-level exceptions are still converted into structured
+    failures so both modes report identically for well-behaved faults).
+    """
+    if isolation == "fork":
+        return run_sandboxed(fn, timeout=timeout, tag=tag)
+    try:
+        return SandboxResult("ok", value=fn())
+    except Exception as exc:  # noqa: BLE001 - structured failure, not a crash
+        return SandboxResult("failed", error=_format_exc(exc))

@@ -34,7 +34,19 @@ def measure(fn: Callable[[], None], batches: int = 7,
             calls_per_batch: Optional[int] = None,
             target_batch_seconds: float = 0.05,
             warmup: int = 1) -> Measurement:
-    """Time ``fn`` with min-of-batches; auto-sizes the batch if not given."""
+    """Time ``fn`` with min-of-batches; auto-sizes the batch if not given.
+
+    The warmup calls run before anything is timed so the first batch does
+    not absorb one-off costs (dlopen relocation, first-touch page faults,
+    cold caches).
+    """
+    if batches <= 0:
+        raise ValueError(f"batches must be >= 1, got {batches}")
+    if calls_per_batch is not None and calls_per_batch <= 0:
+        raise ValueError(
+            f"calls_per_batch must be >= 1, got {calls_per_batch}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
     for _ in range(warmup):
         fn()
     if calls_per_batch is None:

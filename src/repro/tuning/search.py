@@ -6,7 +6,7 @@ never win the search), measures it with min-of-batches timing, and keeps
 the fastest.  Candidates that fail generation (e.g. register-file
 overflow at extreme unroll factors) are skipped and recorded.
 
-Two layers make repeated searches cheap:
+Three layers make repeated searches cheap *and* crash-proof:
 
 - **parallel preparation** — with ``jobs > 1`` the generate+assemble work
   fans out across a thread pool (assembly shells out to the toolchain, so
@@ -16,19 +16,28 @@ Two layers make repeated searches cheap:
   kernel cache keyed by the generated kernel's content hash, so
   re-tuning in a fresh process replays prior measurements instead of
   rebuilding and re-timing candidates that have not changed.
+- **fault isolation** — validation and first-touch execution of every
+  candidate run in a forked worker with a wall-clock timeout
+  (:mod:`repro.backend.sandbox`), so a candidate that SIGSEGVs, executes
+  an illegal instruction, or spins forever becomes a categorized failed
+  trial instead of killing the search.  Candidates that crash or hang
+  are **quarantined** in the persistent cache and skipped on re-tuning
+  without being re-executed (``repro cache clear`` resets this).
 """
 
 from __future__ import annotations
 
 import hashlib
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from ..backend.cache import get_cache
+from ..backend.faults import inject_asm_fault, take_fault
 from ..backend.runner import NativeKernel, load_kernel
+from ..backend.sandbox import resolve_isolation, run_trial
 from ..backend.timer import measure
 from ..core.framework import Augem, GeneratedKernel, stable_kernel_name
 from ..isa.arch import ArchSpec, detect_host
@@ -38,6 +47,14 @@ from .space import Candidate, candidates_for
 #: persisted measurements are not replayed against a different problem
 _WORKLOAD_VERSION = 1
 
+#: trial outcome categories surfaced in reports (beyond "ok")
+FAILURE_CATEGORIES = ("failed", "crashed", "timeout", "quarantined")
+
+
+def _fmt_exc(exc: BaseException, limit: int = 200) -> str:
+    """``"RuntimeError: validation failed"`` — keep the class for triage."""
+    return f"{type(exc).__name__}: {exc}"[:limit]
+
 
 @dataclass
 class TrialResult:
@@ -45,6 +62,9 @@ class TrialResult:
     gflops: float  # -1.0 when the candidate failed
     error: Optional[str] = None
     cached: bool = False  # replayed from a persisted measurement
+    #: "ok" | "failed" (generation/toolchain/validation) | "crashed"
+    #: (signal death in the worker) | "timeout" | "quarantined"
+    category: str = "ok"
 
 
 @dataclass
@@ -55,14 +75,27 @@ class TuningResult:
     best_gflops: float
     trials: List[TrialResult] = field(default_factory=list)
 
+    def failure_counts(self) -> dict:
+        counts = {c: 0 for c in FAILURE_CATEGORIES}
+        for t in self.trials:
+            if t.category in counts:
+                counts[t.category] += 1
+        return counts
+
     def report(self) -> str:
         lines = [f"tuning {self.kernel} on {self.arch}:"]
         for t in sorted(self.trials, key=lambda t: -t.gflops):
-            status = f"{t.gflops:7.2f} GF" if t.gflops >= 0 else f"failed: {t.error}"
+            status = (f"{t.gflops:7.2f} GF" if t.gflops >= 0
+                      else f"{t.category}: {t.error}")
             marker = " <== best" if t.candidate is self.best else ""
             cached = " (cached)" if t.cached else ""
             lines.append(
                 f"  {t.candidate.describe():55s} {status}{cached}{marker}")
+        counts = self.failure_counts()
+        ok = sum(1 for t in self.trials if t.category == "ok")
+        lines.append(
+            f"  {len(self.trials)} trials: ok={ok} "
+            + " ".join(f"{c}={counts[c]}" for c in FAILURE_CATEGORIES))
         return "\n".join(lines)
 
 
@@ -117,6 +150,9 @@ class _Prepared:
     native: Optional[NativeKernel] = None
     cached_gflops: Optional[float] = None
     error: Optional[str] = None
+    category: str = "failed"  # classification when ``error`` is set
+    quarantined: bool = False
+    qkey: Optional[str] = None  # quarantine address of this candidate
 
 
 def _measurement_key(kernel_key: str, arch: ArchSpec,
@@ -128,12 +164,23 @@ def _measurement_key(kernel_key: str, arch: ArchSpec,
     ).hexdigest()[:24]
 
 
+def _quarantine_key(kernel_key: str, arch: ArchSpec,
+                    gk: GeneratedKernel) -> str:
+    """Content address of a known-crashing candidate (same scheme as the
+    measurement records: keyed by the generated kernel's content hash)."""
+    return hashlib.sha256(
+        f"quar\x1f{kernel_key}\x1f{arch.name}\x1f{gk.content_hash}".encode()
+    ).hexdigest()[:24]
+
+
 def _prepare(aug: Augem, kernel: str, kernel_key: str, arch: ArchSpec,
-             cand: Candidate, batches: int, reuse: bool) -> _Prepared:
+             cand: Candidate, batches: int, reuse: bool,
+             index: Optional[int] = None) -> _Prepared:
     """Generate and assemble one candidate (thread-pool friendly).
 
     Generation is pure Python; assembly shells out to the toolchain (and
-    through the persistent compile cache). If a persisted measurement for
+    through the persistent compile cache). Quarantined candidates stop
+    here — no assembly, no execution. If a persisted measurement for
     this exact generated kernel exists, assembly is skipped entirely —
     the warm path touches no toolchain at all.
     """
@@ -143,16 +190,102 @@ def _prepare(aug: Augem, kernel: str, kernel_key: str, arch: ArchSpec,
                                   cand.strategy)
         gk = aug.generate_named(kernel_key, config=cand.config,
                                 strategy=cand.strategy, name=name)
+        fault = take_fault("asm", tag=gk.name, index=index)
+        if fault is not None:
+            gk = replace(gk, asm_text=inject_asm_fault(fault, gk.asm_text,
+                                                       gk.name))
+        qkey = _quarantine_key(kernel_key, arch, gk)
+        qrec = cache.load_quarantine(qkey)
+        if qrec is not None:
+            why = qrec.get("error") or "known-crashing candidate"
+            return _Prepared(cand, generated=gk, qkey=qkey, quarantined=True,
+                             error=f"quarantined: {why}"[:200])
         if reuse:
             record = cache.load_tuning(_measurement_key(kernel_key, arch,
                                                         gk, batches))
             if record is not None:
-                return _Prepared(cand, generated=gk,
+                return _Prepared(cand, generated=gk, qkey=qkey,
                                  cached_gflops=float(record["gflops"]))
         native = load_kernel(kernel_key, gk)
-        return _Prepared(cand, generated=gk, native=native)
-    except Exception as exc:  # noqa: BLE001 - record and move on
-        return _Prepared(cand, error=str(exc)[:120])
+        return _Prepared(cand, generated=gk, native=native, qkey=qkey)
+    except Exception as exc:  # noqa: BLE001 - record class + message, move on
+        return _Prepared(cand, error=_fmt_exc(exc))
+
+
+def _trial_closures(kernel: str, native: NativeKernel, layout: str, rng,
+                    n_vec: int, x: np.ndarray, y: np.ndarray
+                    ) -> Tuple[Callable[[], bool],
+                               Callable[[], Tuple[Callable[[], None], float]]]:
+    """Build the two halves of one trial.
+
+    ``validate`` is self-contained (runs the kernel and checks the
+    result, raising on mismatch) so it can execute in the forked worker;
+    every buffer it mutates is allocated inside the closure or in the
+    child's copy-on-write address space, never shared state the parent
+    reads later.  ``make_timed`` is called in the parent only after the
+    sandbox proves the candidate safe, and allocates fresh scratch for
+    the accumulating timing target.
+    """
+    if kernel == "gemm":
+        def validate() -> bool:
+            if not _validate_gemm(native, layout, rng):
+                raise RuntimeError("validation failed")
+            return True
+
+        def make_timed():
+            run, flops = _gemm_workload(rng)
+            return (lambda: run(native)), flops
+
+    elif kernel == "gemv":
+        mdim, ncols = 1 << 10, 64
+        a = rng.standard_normal(ncols * mdim)
+        xv = rng.standard_normal(ncols)
+
+        def validate() -> bool:
+            yv = np.zeros(mdim)
+            ref = a.reshape(ncols, mdim).T @ xv
+            native(mdim, ncols, a, mdim, xv, yv)
+            if not np.allclose(yv, ref):
+                raise RuntimeError("validation failed")
+            return True
+
+        def make_timed():
+            # time against a per-candidate accumulator, not a buffer any
+            # later validation compares against
+            yt = np.zeros(mdim)
+            return (lambda: native(mdim, ncols, a, mdim, xv, yt)), \
+                2.0 * mdim * ncols
+
+    elif kernel == "axpy":
+        def validate() -> bool:
+            yv = y.copy()
+            native(n_vec, 1.5, x, yv)
+            if not np.allclose(yv, y + 1.5 * x):
+                raise RuntimeError("validation failed")
+            return True
+
+        def make_timed():
+            # y += alpha*x mutates in place: timing thousands of calls
+            # against the shared ``y`` used to blow up the very vector
+            # later candidates validate against — time against a scratch
+            # copy instead
+            yt = y.copy()
+            return (lambda: native(n_vec, 1.5, x, yt)), 2.0 * n_vec
+
+    elif kernel == "dot":
+        def validate() -> bool:
+            r = native(n_vec, x, y)
+            if not np.isclose(r, x @ y):
+                raise RuntimeError("validation failed")
+            return True
+
+        def make_timed():
+            return (lambda: native(n_vec, x, y)), 2.0 * n_vec
+
+    else:
+        raise KeyError(f"unknown kernel {kernel!r}")
+
+    return validate, make_timed
 
 
 def tune_kernel(kernel: str, arch: Optional[ArchSpec] = None,
@@ -161,6 +294,8 @@ def tune_kernel(kernel: str, arch: Optional[ArchSpec] = None,
                 batches: int = 5,
                 jobs: int = 1,
                 reuse: bool = True,
+                isolation: Optional[str] = None,
+                trial_timeout: Optional[float] = 30.0,
                 verbose: bool = False) -> TuningResult:
     """Exhaustively evaluate the candidate space; return the winner.
 
@@ -169,6 +304,12 @@ def tune_kernel(kernel: str, arch: Optional[ArchSpec] = None,
         parallelism never perturbs the measurements.
     :param reuse: replay persisted measurements for unchanged candidates
         (set ``False`` to force fresh timing of every candidate).
+    :param isolation: ``"fork"`` runs validation/first-touch of each
+        candidate in a sandboxed subprocess (crash/hang-proof),
+        ``"none"`` runs in-process, ``None``/``"auto"`` picks ``"fork"``
+        when the platform supports it.
+    :param trial_timeout: wall-clock seconds one isolated trial may run
+        before being killed and quarantined (``None`` or <= 0 disables).
     """
     arch = arch or detect_host()
     aug = Augem(arch=arch)
@@ -177,6 +318,9 @@ def tune_kernel(kernel: str, arch: Optional[ArchSpec] = None,
     if candidates is None:
         candidates = candidates_for(kernel, arch,
                                     **({"layout": layout} if kernel == "gemm" else {}))
+    iso = resolve_isolation(isolation)
+    if trial_timeout is not None and trial_timeout <= 0:
+        trial_timeout = None
 
     n_vec = 1 << 16  # vector-kernel benchmark length (L2 resident)
     x = rng.standard_normal(n_vec)
@@ -186,86 +330,83 @@ def tune_kernel(kernel: str, arch: Optional[ArchSpec] = None,
     if jobs > 1 and len(candidates) > 1:
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             prepared = list(pool.map(
-                lambda c: _prepare(aug, kernel, kernel_key, arch, c,
-                                   batches, reuse),
-                candidates))
+                lambda ic: _prepare(aug, kernel, kernel_key, arch, ic[1],
+                                    batches, reuse, index=ic[0]),
+                enumerate(candidates)))
     else:
-        prepared = [_prepare(aug, kernel, kernel_key, arch, c, batches, reuse)
-                    for c in candidates]
+        prepared = [_prepare(aug, kernel, kernel_key, arch, c, batches,
+                             reuse, index=i)
+                    for i, c in enumerate(candidates)]
 
-    # phase 2: validate + time, strictly serial on this thread
+    # phase 2: validate (isolated) + time (in-process), serial on this thread
     cache = get_cache()
     trials: List[TrialResult] = []
     best: Optional[Candidate] = None
     best_gf = -1.0
+
+    def record(trial: TrialResult) -> None:
+        nonlocal best, best_gf
+        trials.append(trial)
+        if trial.gflops > best_gf:
+            best, best_gf = trial.candidate, trial.gflops
+        if verbose:
+            print(trial.candidate.describe(), "->",
+                  f"{trial.gflops:.2f}" if trial.gflops >= 0
+                  else f"{trial.category}: {trial.error}")
+
     for prep in prepared:
         cand = prep.candidate
+        if prep.quarantined:
+            record(TrialResult(cand, -1.0, error=prep.error,
+                               category="quarantined"))
+            continue
+        if prep.error is not None:
+            record(TrialResult(cand, -1.0, error=prep.error,
+                               category=prep.category))
+            continue
+        if prep.cached_gflops is not None:
+            record(TrialResult(cand, prep.cached_gflops, cached=True))
+            continue
+
+        tag = prep.generated.name if prep.generated is not None \
+            else cand.describe()
         try:
-            if prep.error is not None:
-                raise RuntimeError(prep.error)
-            if prep.cached_gflops is not None:
-                trials.append(TrialResult(cand, prep.cached_gflops,
-                                          cached=True))
-            else:
-                native = prep.native
-                if kernel == "gemm":
-                    if not _validate_gemm(native, layout, rng):
-                        raise RuntimeError("validation failed")
-                    run, flops = _gemm_workload(rng)
-                    m = measure(lambda: run(native), batches=batches)
-                elif kernel == "gemv":
-                    mdim = 1 << 10
-                    ncols = 64
-                    a = rng.standard_normal(ncols * mdim)
-                    yv = np.zeros(mdim)
-                    xv = rng.standard_normal(ncols)
-                    ref = a.reshape(ncols, mdim).T @ xv
-                    native(mdim, ncols, a, mdim, xv, yv)
-                    if not np.allclose(yv, ref):
-                        raise RuntimeError("validation failed")
-                    flops = 2.0 * mdim * ncols
-                    # time against the per-candidate accumulator, not a
-                    # buffer any later validation compares against
-                    m = measure(lambda: native(mdim, ncols, a, mdim, xv, yv),
-                                batches=batches)
-                elif kernel == "axpy":
-                    yv = y.copy()
-                    native(n_vec, 1.5, x, yv)
-                    if not np.allclose(yv, y + 1.5 * x):
-                        raise RuntimeError("validation failed")
-                    flops = 2.0 * n_vec
-                    # y += alpha*x mutates in place: timing thousands of
-                    # calls against the shared ``y`` used to blow up the
-                    # very vector later candidates validate against — time
-                    # against a scratch copy instead
-                    yt = y.copy()
-                    m = measure(lambda: native(n_vec, 1.5, x, yt),
-                                batches=batches)
-                elif kernel == "dot":
-                    r = native(n_vec, x, y)
-                    if not np.isclose(r, x @ y):
-                        raise RuntimeError("validation failed")
-                    flops = 2.0 * n_vec
-                    m = measure(lambda: native(n_vec, x, y), batches=batches)
-                else:
-                    raise KeyError(f"unknown kernel {kernel!r}")
-                gf = m.gflops(flops)
-                trials.append(TrialResult(cand, gf))
-                if reuse and prep.generated is not None:
-                    cache.store_tuning(
-                        _measurement_key(kernel_key, arch, prep.generated,
-                                         batches),
-                        {"kernel": kernel_key, "arch": arch.name,
-                         "candidate": cand.describe(), "gflops": gf,
-                         "best_seconds": m.best, "batches": batches})
-            if trials[-1].gflops > best_gf:
-                best, best_gf = cand, trials[-1].gflops
+            validate, make_timed = _trial_closures(kernel, prep.native,
+                                                   layout, rng, n_vec, x, y)
+        except Exception as exc:  # noqa: BLE001 - e.g. unknown kernel family
+            record(TrialResult(cand, -1.0, error=_fmt_exc(exc),
+                               category="failed"))
+            continue
+
+        sres = run_trial(validate, isolation=iso, timeout=trial_timeout,
+                         tag=tag)
+        if not sres.ok:
+            record(TrialResult(cand, -1.0, error=sres.error,
+                               category=sres.category))
+            if sres.category in ("crashed", "timeout") and prep.qkey:
+                cache.store_quarantine(
+                    prep.qkey,
+                    {"kernel": kernel_key, "arch": arch.name,
+                     "candidate": cand.describe(),
+                     "category": sres.category, "error": sres.error})
+            continue
+
+        try:
+            timed, flops = make_timed()
+            m = measure(timed, batches=batches)
+            gf = m.gflops(flops)
+            record(TrialResult(cand, gf))
+            if reuse and prep.generated is not None:
+                cache.store_tuning(
+                    _measurement_key(kernel_key, arch, prep.generated,
+                                     batches),
+                    {"kernel": kernel_key, "arch": arch.name,
+                     "candidate": cand.describe(), "gflops": gf,
+                     "best_seconds": m.best, "batches": batches})
         except Exception as exc:  # noqa: BLE001 - record and move on
-            trials.append(TrialResult(cand, -1.0, error=str(exc)[:120]))
-        if verbose:
-            print(trials[-1].candidate.describe(), "->",
-                  f"{trials[-1].gflops:.2f}" if trials[-1].gflops >= 0
-                  else trials[-1].error)
+            record(TrialResult(cand, -1.0, error=_fmt_exc(exc),
+                               category="failed"))
+
     if best is None:
         raise RuntimeError(f"every candidate failed for kernel {kernel!r}")
     return TuningResult(kernel=kernel, arch=arch, best=best,

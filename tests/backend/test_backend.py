@@ -124,3 +124,27 @@ def test_measure_autosizes_batch():
     m = measure(lambda: None, batches=2, target_batch_seconds=0.001)
     assert m.calls_per_batch >= 1
     assert m.mflops(1e6) > 0
+
+
+def test_measure_rejects_degenerate_parameters():
+    for kwargs in ({"batches": 0}, {"batches": -3},
+                   {"batches": 2, "calls_per_batch": 0},
+                   {"batches": 2, "warmup": -1}):
+        with pytest.raises(ValueError):
+            measure(lambda: None, **kwargs)
+
+
+def test_measure_runs_warmup_before_timing():
+    calls = []
+    measure(lambda: calls.append(1), batches=1, calls_per_batch=1, warmup=3)
+    assert len(calls) == 4  # 3 warmup + 1 timed
+
+
+def test_runner_rejects_wrong_dtype_and_strides(rng):
+    from repro.backend.runner import _ptr
+
+    with pytest.raises(TypeError):
+        _ptr(np.zeros(4, dtype=np.float32))
+    with pytest.raises(ValueError):
+        _ptr(np.zeros((4, 4))[:, 0])  # strided view
+    assert _ptr(np.zeros(4)) is not None

@@ -185,6 +185,39 @@ def test_tuning_record_roundtrip_and_corruption(store):
     assert not path.exists()
 
 
+def test_quarantine_roundtrip_and_clear(store):
+    cache = get_cache()
+    key = "q" * 24
+    assert cache.load_quarantine(key) is None
+    cache.store_quarantine(key, {"candidate": "u(i)=4", "error": "SIGSEGV",
+                                 "category": "crashed"})
+    assert cache.stats.quarantine_puts == 1
+    rec = cache.load_quarantine(key)
+    assert rec["error"] == "SIGSEGV"
+    assert cache.stats.quarantine_hits == 1
+    assert cache.inventory()["quarantined"] == 1
+    # corrupt record fails closed: evicted, not served
+    cache._quarantine_path(key).write_text("{nope")
+    assert cache.load_quarantine(key) is None
+    assert cache.load_quarantine(key) is None  # really gone
+    cache.store_quarantine(key, {"error": "SIGILL"})
+    assert cache.clear() >= 1
+    assert cache.load_quarantine(key) is None
+    assert cache.inventory()["quarantined"] == 0
+
+
+def test_quarantine_noop_when_disabled(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+    reset_cache()
+    try:
+        cache = get_cache()
+        cache.store_quarantine("k" * 24, {"error": "x"})
+        assert cache.load_quarantine("k" * 24) is None
+        assert cache.stats.quarantine_puts == 0
+    finally:
+        reset_cache()
+
+
 def test_clear_empties_store(store):
     build_shared(SRC, tag="clr")
     cache = get_cache()

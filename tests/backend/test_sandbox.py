@@ -1,0 +1,216 @@
+"""Fault-isolation tests: sandboxed trials, fault plans, toolchain retry."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.backend import faults
+from repro.backend.faults import (
+    FaultPlan,
+    FaultPlanError,
+    inject_asm_fault,
+    take_fault,
+)
+from repro.backend.sandbox import (
+    SandboxResult,
+    fork_supported,
+    resolve_isolation,
+    run_sandboxed,
+    run_trial,
+)
+
+from tests.conftest import needs_cc
+
+needs_fork = pytest.mark.skipif(not fork_supported(),
+                                reason="os.fork unavailable")
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_fault_plan():
+    faults.clear_fault_plan()
+    yield
+    faults.clear_fault_plan()
+
+
+# -- sandbox core -------------------------------------------------------------
+
+@needs_fork
+def test_sandbox_returns_value():
+    res = run_sandboxed(lambda: {"gflops": 3.5}, timeout=10, tag="t")
+    assert res.ok and res.category == "ok"
+    assert res.value == {"gflops": 3.5}
+
+
+@needs_fork
+def test_sandbox_converts_exception_to_failed():
+    def boom():
+        raise RuntimeError("validation failed")
+
+    res = run_sandboxed(boom, timeout=10, tag="t")
+    assert res.category == "failed"
+    assert res.error == "RuntimeError: validation failed"
+
+
+@needs_fork
+def test_sandbox_survives_fatal_signal():
+    def die():
+        os.kill(os.getpid(), signal.SIGSEGV)
+
+    res = run_sandboxed(die, timeout=10, tag="victim")
+    assert res.category == "crashed"
+    assert "SIGSEGV" in res.error and "victim" in res.error
+
+
+@needs_fork
+def test_sandbox_kills_hung_worker():
+    t0 = time.monotonic()
+    res = run_sandboxed(lambda: time.sleep(60), timeout=0.3, tag="sleepy")
+    assert time.monotonic() - t0 < 10
+    assert res.category == "timeout"
+    assert "sleepy" in res.error
+
+
+@needs_fork
+def test_sandbox_detects_silent_worker_death():
+    res = run_sandboxed(lambda: os._exit(3), timeout=10, tag="quitter")
+    assert res.category == "crashed"
+    assert "without a result" in res.error
+
+
+def test_run_trial_inline_mode_catches_exceptions():
+    res = run_trial(lambda: 1 / 0, isolation="none")
+    assert res.category == "failed"
+    assert res.error.startswith("ZeroDivisionError")
+    assert run_trial(lambda: 7, isolation="none").value == 7
+
+
+def test_resolve_isolation():
+    assert resolve_isolation(None) in ("fork", "none")
+    assert resolve_isolation("auto") == resolve_isolation(None)
+    assert resolve_isolation("none") == "none"
+    with pytest.raises(ValueError):
+        resolve_isolation("docker")
+
+
+# -- fault plans --------------------------------------------------------------
+
+def test_fault_plan_parsing_and_matching():
+    plan = FaultPlan.parse("segv@#0; hang@slow_kernel, toolchain@asmtag:2")
+    assert plan.take("asm", tag="anything", index=0) == "segv"
+    assert plan.take("asm", tag="anything", index=3) is None
+    assert plan.take("asm", tag="my_slow_kernel_v2") == "hang"
+    # counted spec disarms after two shots
+    assert plan.take("toolchain", tag="asmtag") == "toolchain"
+    assert plan.take("toolchain", tag="asmtag") == "toolchain"
+    assert plan.take("toolchain", tag="asmtag") is None
+    # stages never cross
+    assert plan.take("toolchain", tag="slow_kernel") is None
+
+
+@pytest.mark.parametrize("bad", ["segv", "explode@x", "segv@#x",
+                                 "segv@", "hang@x:0", "hang@x:lots"])
+def test_fault_plan_rejects_malformed_specs(bad):
+    with pytest.raises(FaultPlanError):
+        FaultPlan.parse(bad)
+
+
+def test_env_fault_plan_tracks_variable(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_INJECT", raising=False)
+    assert take_fault("asm", tag="k") is None
+    monkeypatch.setenv("REPRO_FAULT_INJECT", "wrong@k")
+    assert take_fault("asm", tag="k") == "wrong"
+    monkeypatch.setenv("REPRO_FAULT_INJECT", "")
+    assert take_fault("asm", tag="k") is None
+
+
+def test_installed_plan_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_INJECT", "segv@k")
+    faults.install_fault_plan(FaultPlan.parse("hang@k"))
+    assert take_fault("asm", tag="k") == "hang"
+    faults.install_fault_plan(None)
+    assert take_fault("asm", tag="k") == "segv"
+
+
+def test_inject_asm_fault_rewrites_entry():
+    asm = "\t.text\nmy_kernel:\n\tret\n"
+    out = inject_asm_fault("ill", asm, "my_kernel")
+    lines = out.splitlines()
+    assert lines[lines.index("my_kernel:") + 1].lstrip().startswith("ud2")
+    with pytest.raises(FaultPlanError):
+        inject_asm_fault("ill", asm, "other_symbol")
+    with pytest.raises(FaultPlanError):
+        inject_asm_fault("nuke", asm, "my_kernel")
+
+
+# -- injected faults against a real generated kernel --------------------------
+
+@needs_cc
+@needs_fork
+@pytest.mark.parametrize("kind,category,fragment", [
+    ("segv", "crashed", "SIGSEGV"),
+    ("ill", "crashed", "SIGILL"),
+    ("hang", "timeout", "timeout"),
+])
+def test_injected_fault_is_contained_by_sandbox(kind, category, fragment):
+    """A genuinely crashing/hanging native kernel must not kill us."""
+    import numpy as np
+
+    from repro.backend.runner import load_kernel
+    from repro.core.framework import Augem
+    from repro.isa.arch import detect_host
+
+    gk = Augem(arch=detect_host()).generate_named(
+        "axpy", name=f"t_fault_{kind}")
+    from dataclasses import replace
+    gk = replace(gk, asm_text=inject_asm_fault(kind, gk.asm_text, gk.name))
+    native = load_kernel("axpy", gk)
+    x = np.ones(64)
+    y = np.ones(64)
+    res = run_sandboxed(lambda: native(64, 1.5, x, y), timeout=1.0,
+                        tag=gk.name)
+    assert res.category == category
+    assert fragment in res.error
+
+
+# -- toolchain fault tolerance ------------------------------------------------
+
+@needs_cc
+def test_toolchain_transient_fault_retries_and_succeeds():
+    from repro.backend.cache import get_cache
+    from repro.backend.compiler import build_shared
+
+    faults.install_fault_plan(FaultPlan.parse("toolchain@transient_tag:2"))
+    before = get_cache().stats.toolchain_retries
+    so = build_shared({"t.c": "long t_transient(void) { return 9; }"},
+                      tag="transient_tag")
+    assert so.path.exists()
+    assert get_cache().stats.toolchain_retries - before >= 2
+
+
+@needs_cc
+def test_toolchain_permanent_fault_fails_with_attempt_count():
+    from repro.backend.compiler import ToolchainError, build_shared
+
+    faults.install_fault_plan(FaultPlan.parse("toolchain@permanent_tag"))
+    with pytest.raises(ToolchainError) as exc:
+        build_shared({"p.c": "long t_permanent(void) { return 9; }"},
+                     tag="permanent_tag")
+    assert "attempts" in str(exc.value)
+    assert "injected" in str(exc.value)
+
+
+def test_toolchain_unavailable_degrades_cleanly(monkeypatch):
+    import shutil
+
+    from repro.backend import compiler
+
+    monkeypatch.delenv("CC", raising=False)
+    monkeypatch.setattr(shutil, "which", lambda *a, **k: None)
+    with pytest.raises(compiler.ToolchainUnavailable):
+        compiler.find_cc()
+    # the skip-marker predicate sees the same condition, not a crash
+    assert compiler.have_native_toolchain() is False
+    # and it is still a ToolchainError for callers catching broadly
+    assert issubclass(compiler.ToolchainUnavailable, compiler.ToolchainError)
