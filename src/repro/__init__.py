@@ -10,7 +10,7 @@ Quick start::
 
     # the framework: simple C in, tuned assembly out
     kernel = Augem().generate_named("gemm")
-    print(kernel.asm_text)
+    asm = kernel.asm_text  # complete GAS function text
 
     # the BLAS built from generated kernels
     import numpy as np
@@ -31,7 +31,8 @@ Packages:
 - :mod:`repro.backend` — gcc/ctypes native execution, baselines, timing;
 - :mod:`repro.blas` — packing, blocked GEMM, GEMV/AXPY/DOT, Level-3;
 - :mod:`repro.tuning` — empirical configuration search;
-- :mod:`repro.bench` — regenerates every figure/table of the paper's §5.
+- :mod:`repro.bench` — regenerates every figure/table of the paper's §5;
+- :mod:`repro.obs` — structured tracing, counters, and perf baselines.
 """
 
 from .blas.api import AugemBLAS, default_blas

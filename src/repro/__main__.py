@@ -9,15 +9,23 @@ Usage::
     python -m repro tune axpy --jobs 4
     python -m repro tune gemm --isolation=fork --trial-timeout=30
     python -m repro cache stats
+    python -m repro --trace run.jsonl tune gemm
+    python -m repro trace report run.jsonl
+    python -m repro bench baseline record
+    python -m repro bench baseline check --threshold 0.15
 
 ``generate`` writes (or prints) a complete GAS kernel; ``validate``
 parses an emitted ``.S`` file back and checks it against the numpy
 reference under the bundled emulator — no toolchain required.
+``--trace`` records every pipeline stage, tuning trial, and toolchain
+call to a JSONL file that ``trace report`` renders; ``bench baseline``
+maintains the per-kernel GFLOPS regression gate (exit 3 on regression).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -183,9 +191,52 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from .obs.report import TraceError, report_file
+
+    if args.action == "report":
+        try:
+            print(report_file(args.file))
+        except TraceError as exc:
+            print(f"bad trace: {exc}", file=sys.stderr)
+            return 2
+        return 0
+    raise SystemExit(f"unknown trace action {args.action!r}")
+
+
+def cmd_bench(args) -> int:
+    from .backend.compiler import ToolchainUnavailable
+    from .obs import baseline
+
+    if args.bench_target != "baseline":
+        raise SystemExit(f"unknown bench target {args.bench_target!r}")
+    try:
+        if args.action == "record":
+            record = baseline.record_baseline(
+                path=args.path, kernels=args.kernels, batches=args.batches)
+            for kernel, entry in record["kernels"].items():
+                print(f"{kernel:<8} {entry['gflops']:>10.2f} GFLOPS")
+            print(f"recorded baseline for {record['arch']} -> {args.path}")
+            return 0
+        rows = baseline.check_baseline(
+            path=args.path, batches=args.batches, threshold=args.threshold)
+        print(baseline.render_check(rows, args.threshold))
+        return (baseline.EXIT_REGRESSION
+                if any(r.regressed for r in rows) else 0)
+    except baseline.BaselineError as exc:
+        print(f"baseline: {exc}", file=sys.stderr)
+        return 2
+    except ToolchainUnavailable as exc:
+        print(f"baseline unavailable: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro",
                                      description=__doc__)
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record a JSONL trace of this invocation "
+                             "('-' = stderr; see docs/observability.md)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-archs", help="list modelled architectures")
@@ -236,14 +287,57 @@ def main(argv=None) -> int:
     c = sub.add_parser("cache", help="inspect or clear the kernel cache")
     c.add_argument("action", choices=["stats", "clear"])
 
+    tr = sub.add_parser("trace", help="work with recorded JSONL traces")
+    tr.add_argument("action", choices=["report"])
+    tr.add_argument("file", help="trace file written via --trace/REPRO_TRACE")
+
+    b = sub.add_parser("bench",
+                       help="performance baselines (record / regression "
+                            "check)")
+    b.add_argument("bench_target", choices=["baseline"],
+                   metavar="baseline")
+    b.add_argument("action", choices=["record", "check"])
+    b.add_argument("--path", type=Path, default=None,
+                   help="baseline file (default results/baseline.json)")
+    b.add_argument("--kernels", nargs="+", metavar="KERNEL",
+                   default=None,
+                   choices=["gemm", "gemv", "axpy", "dot"],
+                   help="kernel families to record (default: all four)")
+    b.add_argument("--batches", type=int, default=5, metavar="N",
+                   help="timing batches per kernel (best batch wins)")
+    b.add_argument("--threshold", type=float, default=None, metavar="FRAC",
+                   help="tolerated fractional GFLOPS loss before check "
+                        "fails (default 0.15)")
+
     args = parser.parse_args(argv)
-    return {
-        "list-archs": cmd_list_archs,
-        "generate": cmd_generate,
-        "validate": cmd_validate,
-        "tune": cmd_tune,
-        "cache": cmd_cache,
-    }[args.command](args)
+    if args.trace:
+        from .obs import start_trace
+
+        start_trace(args.trace)
+    if args.command == "bench":
+        from .obs import baseline as _baseline
+
+        if args.path is None:
+            args.path = _baseline.DEFAULT_PATH
+        if args.kernels is None:
+            args.kernels = _baseline.DEFAULT_KERNELS
+        if args.threshold is None:
+            args.threshold = _baseline.DEFAULT_THRESHOLD
+    try:
+        return {
+            "list-archs": cmd_list_archs,
+            "generate": cmd_generate,
+            "validate": cmd_validate,
+            "tune": cmd_tune,
+            "cache": cmd_cache,
+            "trace": cmd_trace,
+            "bench": cmd_bench,
+        }[args.command](args)
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe; not an error
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

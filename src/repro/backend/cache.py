@@ -38,6 +38,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from ..obs import incr
+
 _DISABLED_VALUES = {"off", "none", "0", "disabled", "false"}
 
 #: meta.json schema version; bump to invalidate every existing entry.
@@ -192,6 +194,7 @@ class KernelCache:
             shutil.rmtree(workdir, ignore_errors=True)
             return self.lookup_so(key)
         self.stats.puts += 1
+        incr("cache.put")
         return entry / so_name
 
     def evict(self, key: str) -> None:
@@ -201,6 +204,7 @@ class KernelCache:
         if entry.exists():
             shutil.rmtree(entry, ignore_errors=True)
             self.stats.evictions += 1
+            incr("cache.eviction")
 
     # -- tuning measurements ----------------------------------------------
 
@@ -220,6 +224,7 @@ class KernelCache:
                 pass
             return None
         self.stats.tuning_hits += 1
+        incr("cache.tuning_hit")
         return record
 
     def store_tuning(self, key: str, record: Dict[str, Any]) -> None:
@@ -235,6 +240,7 @@ class KernelCache:
             self.stats.errors += 1  # measurements are best-effort too
             return
         self.stats.tuning_puts += 1
+        incr("cache.tuning_put")
 
     # -- candidate quarantine ----------------------------------------------
     #
@@ -259,6 +265,7 @@ class KernelCache:
                 pass
             return None
         self.stats.quarantine_hits += 1
+        incr("cache.quarantine_hit")
         return record
 
     def store_quarantine(self, key: str, record: Dict[str, Any]) -> None:
@@ -274,6 +281,7 @@ class KernelCache:
             self.stats.errors += 1  # quarantine is best-effort too
             return
         self.stats.quarantine_puts += 1
+        incr("cache.quarantine_put")
 
     # -- maintenance -------------------------------------------------------
 

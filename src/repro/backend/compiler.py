@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from ..obs import incr, span
 from .cache import get_cache
 from .faults import take_fault
 
@@ -128,6 +129,12 @@ def _tool_limits() -> tuple:
     return max(timeout, 1.0), max(attempts, 1)
 
 
+def _account_build(stats, seconds: float) -> None:
+    """Attribute toolchain wall time to the cache stats and the trace."""
+    stats.build_seconds += seconds
+    incr("toolchain.build_seconds", seconds)
+
+
 def _run(cmd: Sequence[str], tag: str = "") -> None:
     """Run one toolchain command with timeout and bounded retry.
 
@@ -143,24 +150,26 @@ def _run(cmd: Sequence[str], tag: str = "") -> None:
     for attempt in range(attempts):
         if attempt:
             stats.toolchain_retries += 1
+            incr("toolchain.retries")
             time.sleep(min(_RETRY_BACKOFF * (2 ** (attempt - 1)), 1.0))
         if take_fault("toolchain", tag=tag):
             last = f"injected toolchain fault (tag {tag!r})"
             continue
         stats.toolchain_invocations += 1
+        incr("toolchain.invocations")
         t0 = time.perf_counter()
         try:
             proc = subprocess.run(cmd, capture_output=True, text=True,
                                   timeout=timeout)
         except subprocess.TimeoutExpired:
-            stats.build_seconds += time.perf_counter() - t0
+            _account_build(stats, time.perf_counter() - t0)
             last = f"timed out after {timeout:g}s"
             continue
         except OSError as exc:
-            stats.build_seconds += time.perf_counter() - t0
+            _account_build(stats, time.perf_counter() - t0)
             last = f"{type(exc).__name__}: {exc}"
             continue
-        stats.build_seconds += time.perf_counter() - t0
+        _account_build(stats, time.perf_counter() - t0)
         if proc.returncode == 0:
             return
         raise ToolchainError(
@@ -233,12 +242,16 @@ def build_shared(sources: Dict[str, str], extra_flags: Sequence[str] = (),
             cache.evict(key)
         elif key in _SO_CACHE:
             cache.stats.mem_hits += 1
+            incr("cache.mem_hit")
             return _SO_CACHE[key]
 
     so = None if force else _load_from_store(cache, key)
     if so is None:
         cache.stats.misses += 1
-        so = _build_and_publish(cc, cache, key, sources, extra_flags, tag)
+        incr("cache.miss")
+        with span("toolchain.build", tag=tag, key=key):
+            so = _build_and_publish(cc, cache, key, sources, extra_flags,
+                                    tag)
     with _SO_LOCK:
         # a concurrent thread may have raced us; first one in wins so every
         # caller shares one CDLL handle per key
@@ -258,6 +271,7 @@ def _load_from_store(cache, key: str) -> Optional[SharedObject]:
         cache.evict(key)
         return None
     cache.stats.disk_hits += 1
+    incr("cache.disk_hit")
     return SharedObject(path=so_path, lib=lib)
 
 

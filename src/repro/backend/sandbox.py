@@ -30,6 +30,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
+from ..obs import span
+
 #: trial outcome categories (mirrored in ``TrialResult.category``)
 CATEGORIES = ("ok", "failed", "crashed", "timeout")
 
@@ -183,9 +185,13 @@ def run_trial(fn: Callable[[], Any], isolation: str = "fork",
     but Python-level exceptions are still converted into structured
     failures so both modes report identically for well-behaved faults).
     """
-    if isolation == "fork":
-        return run_sandboxed(fn, timeout=timeout, tag=tag)
-    try:
-        return SandboxResult("ok", value=fn())
-    except Exception as exc:  # noqa: BLE001 - structured failure, not a crash
-        return SandboxResult("failed", error=_format_exc(exc))
+    with span("sandbox.trial", tag=tag, isolation=isolation) as sp:
+        if isolation == "fork":
+            res = run_sandboxed(fn, timeout=timeout, tag=tag)
+        else:
+            try:
+                res = SandboxResult("ok", value=fn())
+            except Exception as exc:  # noqa: BLE001 - structured failure
+                res = SandboxResult("failed", error=_format_exc(exc))
+        sp.set(category=res.category, error=res.error)
+    return res

@@ -50,7 +50,15 @@ def main(argv=None) -> int:
                         help="parallel tuner build workers (with --tune)")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory for JSON results")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record a JSONL trace of the run "
+                             "('-' = stderr; see docs/observability.md)")
     args = parser.parse_args(argv)
+
+    if args.trace:
+        from ..obs import start_trace
+
+        start_trace(args.trace)
 
     batches = 1 if args.quick else 3
     configs = (_tuned_configs(verbose=False, jobs=args.jobs)

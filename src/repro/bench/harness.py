@@ -37,6 +37,7 @@ from ..backend.baselines import BaselineLibrary, baseline_native, baseline_o2
 from ..blas.api import AugemBLAS
 from ..blas.level3 import Level3
 from ..isa.arch import GENERIC_SSE, detect_host
+from ..obs import event, span
 
 
 class _CGemmAdapter:
@@ -210,10 +211,13 @@ def standard_lineup(include_naive: bool = False,
     libs: List[Library] = []
     for name, make in makers:
         try:
-            libs.append(make())
+            with span("bench.build_library", library=name):
+                libs.append(make())
         except (ToolchainError, ImportError, OSError) as exc:
             if strict:
                 raise
+            event("bench.library_skipped", library=name,
+                  reason=f"{type(exc).__name__}: {exc}"[:200])
             print(f"[bench] skipping {name}: {type(exc).__name__}: {exc}",
                   file=sys.stderr)
     return libs

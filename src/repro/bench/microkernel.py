@@ -19,6 +19,7 @@ import numpy as np
 from ..backend.runner import load_kernel
 from ..core.framework import Augem
 from ..isa.arch import ArchSpec, GENERIC_SSE, detect_host
+from ..obs import event, span
 from .report import TableResult
 
 MC, NC, KC = 96, 192, 256
@@ -39,20 +40,24 @@ def microkernel_table(rounds: int = 12,
     cm = am @ bm
 
     contenders: Dict[str, callable] = {}
-    gk = Augem(arch=arch).generate_named("gemm", name="ukern_host")
-    host_kernel = load_kernel("gemm", gk)
-    contenders[f"AUGEM kernel ({arch.name})"] = (
-        lambda: host_kernel(MC, NC, KC, a, b, c, MC)
-    )
-    gk_sse = Augem(arch=GENERIC_SSE).generate_named("gemm", name="ukern_sse")
-    sse_kernel = load_kernel("gemm", gk_sse)
-    contenders["AUGEM kernel (generic_sse)"] = (
-        lambda: sse_kernel(MC, NC, KC, a, b, c, MC)
-    )
-    contenders["OpenBLAS dgemm"] = lambda: np.dot(am, bm, out=cm)
+    # build phase is traced; the frequency-paired timing loop below is
+    # deliberately not (docs/observability.md: nothing inside timed loops)
+    with span("bench.microkernel_setup", arch=arch.name, rounds=rounds):
+        gk = Augem(arch=arch).generate_named("gemm", name="ukern_host")
+        host_kernel = load_kernel("gemm", gk)
+        contenders[f"AUGEM kernel ({arch.name})"] = (
+            lambda: host_kernel(MC, NC, KC, a, b, c, MC)
+        )
+        gk_sse = Augem(arch=GENERIC_SSE).generate_named("gemm",
+                                                        name="ukern_sse")
+        sse_kernel = load_kernel("gemm", gk_sse)
+        contenders["AUGEM kernel (generic_sse)"] = (
+            lambda: sse_kernel(MC, NC, KC, a, b, c, MC)
+        )
+        contenders["OpenBLAS dgemm"] = lambda: np.dot(am, bm, out=cm)
 
-    for fn in contenders.values():
-        fn()
+        for fn in contenders.values():
+            fn()
     times: Dict[str, List[float]] = {k: [] for k in contenders}
     inner = 8
     for _ in range(rounds):
@@ -68,6 +73,9 @@ def microkernel_table(rounds: int = 12,
         best_gf = flops / min(ts) / 1e9
         ratios = sorted(base[i] / ts[i] for i in range(len(ts)))
         median_ratio = ratios[len(ratios) // 2]
+        event("bench.microkernel", contender=key,
+              best_gflops=round(best_gf, 4),
+              vs_openblas=round(median_ratio, 4))
         rows.append([key, f"{best_gf:.2f}", f"{median_ratio:.3f}"])
     return TableResult(
         "microkernel",

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Union
 from ..isa.arch import ArchSpec, detect_host
 from ..isa.gas import emit_function
 from ..isa.instructions import Item
+from ..obs import span
 from ..poet import cast as C
 from ..poet.parser import parse_function
 from ..poet.printer import to_c
@@ -166,19 +167,27 @@ class Augem:
             ``"shuf"`` or ``"scalar"`` (see :func:`plan_vectorization`).
         :param name: exported symbol name (defaults to the C function name).
         """
-        # 1. Optimized C Kernel Generator
-        fn = optimize_c_kernel(kernel_source, config)
-        low_level_c = to_c(fn)
-        # 2. Template Identifier
-        fn, regions = identify_templates(fn)
-        # 3. Template Optimizer planning (strategies + packing)
-        plan = plan_vectorization(regions, self.arch, strategy)
-        # 3+4. Template Optimizer emission + Assembly Kernel Generator
-        items = generate_assembly_items(fn, self.arch, plan,
-                                        schedule=self.schedule,
-                                        unified_regalloc=self.unified_regalloc)
-        sym = name or fn.name
-        asm_text = emit_function(sym, items)
+        with span("pipeline.generate", arch=self.arch.name,
+                  config=config.describe(), strategy=strategy) as sp:
+            # 1. Optimized C Kernel Generator
+            with span("pipeline.c_opt"):
+                fn = optimize_c_kernel(kernel_source, config)
+                low_level_c = to_c(fn)
+            # 2. Template Identifier
+            with span("pipeline.identify") as sp_id:
+                fn, regions = identify_templates(fn)
+                sp_id.set(regions=len(regions))
+            # 3. Template Optimizer planning (strategies + packing)
+            with span("pipeline.plan"):
+                plan = plan_vectorization(regions, self.arch, strategy)
+            # 3+4. Template Optimizer emission + Assembly Kernel Generator
+            with span("pipeline.asmgen"):
+                items = generate_assembly_items(
+                    fn, self.arch, plan, schedule=self.schedule,
+                    unified_regalloc=self.unified_regalloc)
+                sym = name or fn.name
+                asm_text = emit_function(sym, items)
+            sp.set(kernel=sym)
         return GeneratedKernel(
             name=sym,
             arch=self.arch,

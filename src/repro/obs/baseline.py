@@ -1,0 +1,214 @@
+"""Performance baselines: record GFLOPS per kernel, fail on regression.
+
+``python -m repro bench baseline record`` measures the default-config
+generated kernel of each family on a fixed workload and files the numbers
+in ``results/baseline.json``; ``... baseline check`` re-measures and exits
+with status :data:`EXIT_REGRESSION` (3) when any kernel lost more than
+``--threshold`` (default 15%) of its recorded GFLOPS.  This turns the
+bench trajectory into an enforced time series: every PR can prove it did
+not slow the generator's output down.
+
+The workloads mirror the tuner's measurement problems (L2-resident, fixed
+seeds) so baseline numbers and tuning trials are comparable.  Bump
+:data:`WORKLOAD_VERSION` whenever a workload changes shape — a recorded
+baseline is only comparable to a check run on the identical problem.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..backend.runner import load_kernel
+from ..backend.timer import measure
+from ..core.framework import Augem
+from ..isa.arch import ArchSpec, detect_host
+from . import trace as obs
+
+#: bump when any workload below changes shape/size
+WORKLOAD_VERSION = 1
+
+#: baseline.json schema version
+BASELINE_VERSION = 1
+
+#: default location of the recorded baseline
+DEFAULT_PATH = Path("results") / "baseline.json"
+
+#: default tolerated fractional GFLOPS loss before check fails
+DEFAULT_THRESHOLD = 0.15
+
+#: kernel families covered by default
+DEFAULT_KERNELS = ("gemm", "gemv", "axpy", "dot")
+
+#: ``baseline check`` exit status on regression
+EXIT_REGRESSION = 3
+
+
+def _workload(kernel: str, native, rng,
+              gk=None) -> Tuple[Callable[[], None], float]:
+    """A timed closure plus its flop count for one kernel family."""
+    if kernel == "gemm":
+        # the generated kernel assumes divisible trip counts, so the tile
+        # must honor its (mu, nu, ku) multiples (e.g. mu=12 on FMA archs)
+        from ..blas.gemm import _round_up, kernel_multiples
+
+        mu, nu, ku = kernel_multiples(gk) if gk is not None else (1, 1, 1)
+        mc = _round_up(64, mu)
+        nc = _round_up(64, nu)
+        kc = _round_up(256, ku)
+        a = rng.standard_normal(kc * mc)
+        b = rng.standard_normal(nc * kc)
+        c = np.zeros(mc * nc)
+        return (lambda: native(mc, nc, kc, a, b, c, mc)), 2.0 * mc * nc * kc
+    if kernel == "gemv":
+        m, n = 1 << 10, 64
+        a = rng.standard_normal(n * m)
+        x = rng.standard_normal(n)
+        y = np.zeros(m)
+        return (lambda: native(m, n, a, m, x, y)), 2.0 * m * n
+    if kernel == "axpy":
+        n = 1 << 16
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+        return (lambda: native(n, 1.5, x, y)), 2.0 * n
+    if kernel == "dot":
+        n = 1 << 16
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+        return (lambda: native(n, x, y)), 2.0 * n
+    raise KeyError(f"no baseline workload for kernel {kernel!r}")
+
+
+def measure_kernel(kernel: str, arch: Optional[ArchSpec] = None,
+                   batches: int = 5) -> float:
+    """Best-batch GFLOPS of the default-config kernel for one family."""
+    arch = arch or detect_host()
+    with obs.span("baseline.measure", kernel=kernel, arch=arch.name) as sp:
+        gk = Augem(arch=arch).generate_named(kernel)
+        native = load_kernel(kernel, gk)
+        rng = np.random.default_rng(7)
+        timed, flops = _workload(kernel, native, rng, gk=gk)
+        m = measure(timed, batches=batches)
+        gflops = m.gflops(flops)
+        sp.set(gflops=round(gflops, 4))
+    return gflops
+
+
+def measure_suite(kernels=DEFAULT_KERNELS, arch: Optional[ArchSpec] = None,
+                  batches: int = 5) -> Dict[str, float]:
+    arch = arch or detect_host()
+    with obs.span("baseline.suite", arch=arch.name, batches=batches):
+        return {k: measure_kernel(k, arch=arch, batches=batches)
+                for k in kernels}
+
+
+def record_baseline(path: Path = DEFAULT_PATH, kernels=DEFAULT_KERNELS,
+                    arch: Optional[ArchSpec] = None,
+                    batches: int = 5) -> Dict:
+    """Measure every kernel and write the baseline file atomically."""
+    arch = arch or detect_host()
+    gflops = measure_suite(kernels, arch=arch, batches=batches)
+    record = {
+        "version": BASELINE_VERSION,
+        "workload_version": WORKLOAD_VERSION,
+        "arch": arch.name,
+        "batches": batches,
+        "recorded_unix_time": time.time(),
+        "kernels": {k: {"gflops": round(v, 4)} for k, v in gflops.items()},
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(record, indent=2) + "\n")
+    tmp.replace(path)
+    return record
+
+
+class BaselineError(RuntimeError):
+    """The baseline file is missing, unreadable, or incomparable."""
+
+
+def load_baseline(path: Path = DEFAULT_PATH) -> Dict:
+    path = Path(path)
+    try:
+        record = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise BaselineError(
+            f"no baseline at {path}; run 'python -m repro bench baseline "
+            f"record' first") from None
+    except (OSError, ValueError) as exc:
+        raise BaselineError(f"unreadable baseline {path}: {exc}") from None
+    if record.get("workload_version") != WORKLOAD_VERSION:
+        raise BaselineError(
+            f"baseline {path} was recorded against workload version "
+            f"{record.get('workload_version')!r} (current "
+            f"{WORKLOAD_VERSION}); re-record it")
+    return record
+
+
+@dataclass
+class CheckRow:
+    """One kernel's baseline-vs-now comparison."""
+
+    kernel: str
+    baseline_gflops: Optional[float]
+    current_gflops: float
+    regressed: bool
+
+    @property
+    def delta(self) -> Optional[float]:
+        if not self.baseline_gflops:
+            return None
+        return self.current_gflops / self.baseline_gflops - 1.0
+
+
+def check_baseline(path: Path = DEFAULT_PATH,
+                   arch: Optional[ArchSpec] = None, batches: int = 5,
+                   threshold: float = DEFAULT_THRESHOLD) -> List[CheckRow]:
+    """Re-measure the recorded kernels and compare against the baseline.
+
+    A kernel present in the baseline but more than ``threshold`` slower
+    now is flagged ``regressed``; a kernel missing from the baseline is
+    reported un-flagged (record again to start tracking it).
+    """
+    record = load_baseline(path)
+    arch = arch or detect_host()
+    if record.get("arch") != arch.name:
+        raise BaselineError(
+            f"baseline {path} was recorded on arch {record.get('arch')!r}, "
+            f"checking on {arch.name!r}; re-record it")
+    kernels = list(record.get("kernels", {}))
+    rows: List[CheckRow] = []
+    for kernel in kernels:
+        base = record["kernels"][kernel].get("gflops")
+        now = measure_kernel(kernel, arch=arch, batches=batches)
+        regressed = bool(base) and now < base * (1.0 - threshold)
+        rows.append(CheckRow(kernel, base, now, regressed))
+        obs.event("baseline.check", kernel=kernel, baseline=base,
+                  current=round(now, 4), regressed=regressed)
+    return rows
+
+
+def render_check(rows: List[CheckRow], threshold: float) -> str:
+    lines = [f"{'kernel':<8} {'baseline':>10} {'current':>10} "
+             f"{'delta':>8}  verdict"]
+    for row in rows:
+        base = (f"{row.baseline_gflops:.2f}"
+                if row.baseline_gflops else "-")
+        delta = f"{100 * row.delta:+.1f}%" if row.delta is not None else "-"
+        verdict = "REGRESSED" if row.regressed else "ok"
+        lines.append(f"{row.kernel:<8} {base:>10} "
+                     f"{row.current_gflops:>10.2f} {delta:>8}  {verdict}")
+    bad = [r.kernel for r in rows if r.regressed]
+    if bad:
+        lines.append(f"regression (> {100 * threshold:.0f}% GFLOPS loss): "
+                     + ", ".join(bad))
+    else:
+        lines.append(f"all kernels within {100 * threshold:.0f}% "
+                     f"of the recorded baseline")
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Render a recorded JSONL trace as a human-readable report.
+
+``python -m repro trace report run.jsonl`` prints three sections:
+
+- **per-stage timing** — every span name aggregated: call count, total /
+  mean / max wall time (the four pipeline stages, transforms, toolchain
+  invocations, sandbox trials...);
+- **per-kernel trial summary** — the tuner's ``tune.trial`` events rolled
+  up by kernel: trial counts by category, cache-replay and quarantine
+  dispositions, and the best GFLOPS observed;
+- **counters** — the accumulated cache/toolchain counters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+
+class TraceError(ValueError):
+    """The trace file is not valid JSONL (or not a repro trace)."""
+
+
+def load_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse one record per line; raise :class:`TraceError` on bad lines."""
+    records: List[Dict[str, Any]] = []
+    text = Path(path).read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(
+                f"{path}:{lineno}: invalid JSON ({exc.msg})") from None
+        if not isinstance(record, dict) or "ev" not in record:
+            raise TraceError(
+                f"{path}:{lineno}: not a trace record (missing 'ev')")
+        records.append(record)
+    if not records:
+        raise TraceError(f"{path}: empty trace")
+    return records
+
+
+@dataclass
+class _StageAgg:
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+
+    def add(self, dur: float) -> None:
+        self.count += 1
+        self.total += dur
+        self.max = max(self.max, dur)
+
+
+@dataclass
+class _KernelAgg:
+    trials: int = 0
+    categories: Dict[str, int] = field(default_factory=dict)
+    cached: int = 0
+    best_gflops: float = -1.0
+    best_candidate: str = ""
+
+    def add(self, attrs: Dict[str, Any]) -> None:
+        self.trials += 1
+        category = str(attrs.get("category", "ok"))
+        self.categories[category] = self.categories.get(category, 0) + 1
+        if attrs.get("cached"):
+            self.cached += 1
+        gflops = attrs.get("gflops")
+        if isinstance(gflops, (int, float)) and gflops > self.best_gflops:
+            self.best_gflops = float(gflops)
+            self.best_candidate = str(attrs.get("candidate", ""))
+
+
+def render_report(records: List[Dict[str, Any]]) -> str:
+    """The text report (see module docstring) for parsed trace records."""
+    stages: Dict[str, _StageAgg] = {}
+    kernels: Dict[str, _KernelAgg] = {}
+    counters: Dict[str, float] = {}
+    events = 0
+    for record in records:
+        ev = record.get("ev")
+        attrs = record.get("attrs", {}) or {}
+        if ev == "span":
+            agg = stages.setdefault(record.get("name", "?"), _StageAgg())
+            agg.add(float(record.get("dur", 0.0)))
+        elif ev == "event":
+            events += 1
+            if record.get("name") == "tune.trial":
+                key = str(attrs.get("kernel", "?"))
+                kernels.setdefault(key, _KernelAgg()).add(attrs)
+        elif ev == "counter":
+            counters[str(record.get("name", "?"))] = float(
+                record.get("value", 0.0))
+
+    lines: List[str] = []
+    n_spans = sum(a.count for a in stages.values())
+    lines.append(f"trace: {n_spans} spans, {events} events, "
+                 f"{len(counters)} counters")
+
+    lines.append("")
+    lines.append("-- per-stage timing --")
+    if stages:
+        width = max(len(n) for n in stages)
+        lines.append(f"{'span':<{width}}  {'count':>6}  {'total s':>9}  "
+                     f"{'mean ms':>9}  {'max ms':>9}")
+        for name in sorted(stages, key=lambda n: -stages[n].total):
+            agg = stages[name]
+            lines.append(
+                f"{name:<{width}}  {agg.count:>6}  {agg.total:>9.4f}  "
+                f"{1e3 * agg.total / agg.count:>9.3f}  "
+                f"{1e3 * agg.max:>9.3f}")
+    else:
+        lines.append("(no spans recorded)")
+
+    lines.append("")
+    lines.append("-- per-kernel trials --")
+    if kernels:
+        for name in sorted(kernels):
+            agg = kernels[name]
+            cats = " ".join(f"{c}={agg.categories[c]}"
+                            for c in sorted(agg.categories))
+            lines.append(f"{name}: {agg.trials} trials ({cats}), "
+                         f"{agg.cached} cached")
+            if agg.best_gflops >= 0:
+                lines.append(f"  best {agg.best_gflops:.2f} GFLOPS"
+                             + (f"  {agg.best_candidate}"
+                                if agg.best_candidate else ""))
+    else:
+        lines.append("(no tuning trials recorded)")
+
+    if counters:
+        lines.append("")
+        lines.append("-- counters --")
+        width = max(len(n) for n in counters)
+        for name in sorted(counters):
+            value = counters[name]
+            shown = int(value) if value == int(value) else round(value, 4)
+            lines.append(f"{name:<{width}}  {shown}")
+    return "\n".join(lines)
+
+
+def report_file(path: Union[str, Path]) -> str:
+    return render_report(load_trace(path))

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple, Union
 
+from ..obs import span
 from ..poet import cast as C
 from ..poet.parser import parse_function
 from .base import Transform
@@ -91,7 +92,10 @@ def optimize_c_kernel(kernel: Union[str, C.FuncDef],
     ``kernel`` may be C source text or an already-parsed function.  A fresh
     tree is produced; the input is never mutated.
     """
-    fn = parse_function(kernel) if isinstance(kernel, str) else kernel.clone()
-    for transform in build_pipeline(config):
-        fn = transform.apply(fn)
+    with span("transforms.optimize_c", config=config.describe()):
+        fn = (parse_function(kernel) if isinstance(kernel, str)
+              else kernel.clone())
+        for transform in build_pipeline(config):
+            with span(f"transform.{type(transform).__name__}"):
+                fn = transform.apply(fn)
     return fn

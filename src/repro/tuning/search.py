@@ -41,6 +41,7 @@ from ..backend.sandbox import resolve_isolation, run_trial
 from ..backend.timer import measure
 from ..core.framework import Augem, GeneratedKernel, stable_kernel_name
 from ..isa.arch import ArchSpec, detect_host
+from ..obs import event, progress, span
 from .space import Candidate, candidates_for
 
 #: bump when any benchmark workload below changes shape/size, so stale
@@ -313,7 +314,6 @@ def tune_kernel(kernel: str, arch: Optional[ArchSpec] = None,
     """
     arch = arch or detect_host()
     aug = Augem(arch=arch)
-    rng = np.random.default_rng(42)
     kernel_key = "gemm_shuf" if (kernel == "gemm" and layout == "shuf") else kernel
     if candidates is None:
         candidates = candidates_for(kernel, arch,
@@ -322,21 +322,38 @@ def tune_kernel(kernel: str, arch: Optional[ArchSpec] = None,
     if trial_timeout is not None and trial_timeout <= 0:
         trial_timeout = None
 
+    with span("tune.kernel", kernel=kernel_key, arch=arch.name,
+              candidates=len(candidates), jobs=jobs,
+              isolation=iso) as tune_span:
+        return _search(aug, kernel, kernel_key, layout, arch, candidates,
+                       batches, jobs, reuse, iso, trial_timeout, verbose,
+                       tune_span)
+
+
+def _search(aug: Augem, kernel: str, kernel_key: str, layout: str,
+            arch: ArchSpec, candidates: List[Candidate], batches: int,
+            jobs: int, reuse: bool, iso: str,
+            trial_timeout: Optional[float], verbose: bool,
+            tune_span) -> TuningResult:
+    """The body of :func:`tune_kernel` (runs inside its ``tune.kernel``
+    span, so a search that dies mid-flight still closes the span)."""
+    rng = np.random.default_rng(42)
     n_vec = 1 << 16  # vector-kernel benchmark length (L2 resident)
     x = rng.standard_normal(n_vec)
     y = rng.standard_normal(n_vec)
 
     # phase 1: generate + assemble every candidate (parallel when jobs > 1)
-    if jobs > 1 and len(candidates) > 1:
-        with ThreadPoolExecutor(max_workers=jobs) as pool:
-            prepared = list(pool.map(
-                lambda ic: _prepare(aug, kernel, kernel_key, arch, ic[1],
-                                    batches, reuse, index=ic[0]),
-                enumerate(candidates)))
-    else:
-        prepared = [_prepare(aug, kernel, kernel_key, arch, c, batches,
-                             reuse, index=i)
-                    for i, c in enumerate(candidates)]
+    with span("tune.prepare", jobs=jobs):
+        if jobs > 1 and len(candidates) > 1:
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                prepared = list(pool.map(
+                    lambda ic: _prepare(aug, kernel, kernel_key, arch, ic[1],
+                                        batches, reuse, index=ic[0]),
+                    enumerate(candidates)))
+        else:
+            prepared = [_prepare(aug, kernel, kernel_key, arch, c, batches,
+                                 reuse, index=i)
+                        for i, c in enumerate(candidates)]
 
     # phase 2: validate (isolated) + time (in-process), serial on this thread
     cache = get_cache()
@@ -349,10 +366,16 @@ def tune_kernel(kernel: str, arch: Optional[ArchSpec] = None,
         trials.append(trial)
         if trial.gflops > best_gf:
             best, best_gf = trial.candidate, trial.gflops
+        event("tune.trial", kernel=kernel_key, arch=arch.name,
+              candidate=trial.candidate.describe(),
+              category=trial.category, cached=trial.cached,
+              gflops=(round(trial.gflops, 4) if trial.gflops >= 0
+                      else None),
+              error=trial.error)
         if verbose:
-            print(trial.candidate.describe(), "->",
-                  f"{trial.gflops:.2f}" if trial.gflops >= 0
-                  else f"{trial.category}: {trial.error}")
+            status = (f"{trial.gflops:.2f}" if trial.gflops >= 0
+                      else f"{trial.category}: {trial.error}")
+            progress(f"{trial.candidate.describe()} -> {status}")
 
     for prep in prepared:
         cand = prep.candidate
@@ -407,6 +430,12 @@ def tune_kernel(kernel: str, arch: Optional[ArchSpec] = None,
             record(TrialResult(cand, -1.0, error=_fmt_exc(exc),
                                category="failed"))
 
+    tune_span.set(
+        trials=len(trials),
+        cached=sum(1 for t in trials if t.cached),
+        failed=sum(1 for t in trials if t.gflops < 0),
+        best=(best.describe() if best is not None else None),
+        best_gflops=(round(best_gf, 4) if best is not None else None))
     if best is None:
         raise RuntimeError(f"every candidate failed for kernel {kernel!r}")
     return TuningResult(kernel=kernel, arch=arch, best=best,

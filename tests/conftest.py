@@ -40,6 +40,10 @@ _HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
 
 
 def pytest_addoption(parser, pluginmanager):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden assembly snapshots under tests/golden/ "
+             "instead of diffing against them")
     if not _HAVE_PYTEST_TIMEOUT and not pluginmanager.hasplugin("timeout"):
         parser.addini("timeout", "per-test timeout in seconds "
                       "(fallback watchdog; pytest-timeout not installed)",

@@ -1,15 +1,25 @@
-"""Differential fuzzing: emulator vs. real silicon.
+"""Differential testing: emulator vs. real silicon, and a tuner-space sweep.
 
-Random straight-line vector-instruction sequences are wrapped in a
-function that loads all vector registers from an input buffer and stores
-them back to an output buffer. The function is (a) assembled with gcc and
-executed natively, (b) interpreted by the emulator. The resulting
-register files must agree **bit for bit** — this pins the emulator's
-semantics for every instruction the generator can emit, on whatever
-subset the host supports.
+Two layers:
+
+1. **Fuzzing** (needs a toolchain): random straight-line vector-instruction
+   sequences are wrapped in a function that loads all vector registers from
+   an input buffer and stores them back to an output buffer. The function is
+   (a) assembled with gcc and executed natively, (b) interpreted by the
+   emulator. The resulting register files must agree **bit for bit** — this
+   pins the emulator's semantics for every instruction the generator can
+   emit, on whatever subset the host supports.
+
+2. **Tuning-space sweep** (emulator only, runs everywhere — including the
+   FMA4 arch no Intel host can execute): the tuner's smallest and largest
+   unroll configurations per kernel family are generated for *every* ISA
+   mapping and executed under the emulator against the numpy reference, so
+   each instruction-selection path of Tables 1-4 (SSE, AVX, FMA3, FMA4,
+   Vdup and Shuf, packed stores, reductions) is exercised end to end.
 """
 
 import ctypes
+import math
 
 import numpy as np
 import pytest
@@ -17,17 +27,18 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.backend.compiler import build_shared
+from repro.core.framework import Augem
 from repro.emu.machine import Machine
 from repro.emu.memory import Memory
+from repro.emu.run import call_kernel
 from repro.isa.arch import detect_host
 from repro.isa.gas import emit_function
 from repro.isa.instructions import Instr, instr
 from repro.isa.operands import Imm, Mem
 from repro.isa.registers import GP, xmm, ymm
+from repro.tuning.space import candidates_for
 
-from tests.conftest import needs_cc
-
-pytestmark = needs_cc
+from tests.conftest import ALL_ARCH_SPECS, gemm_ref_packed, needs_cc
 
 _HOST = detect_host()
 _HAS_AVX = _HOST.simd == "avx"
@@ -143,6 +154,7 @@ def _run_emulated(items, inputs: np.ndarray) -> np.ndarray:
     return out
 
 
+@needs_cc
 @given(seq=instruction_sequences(),
        seed=st.integers(0, 2**31))
 @settings(max_examples=60, deadline=None)
@@ -159,6 +171,7 @@ def test_emulator_matches_silicon_bitwise(seq, seed):
     )
 
 
+@needs_cc
 def test_differential_harness_detects_differences():
     """Sanity: the harness itself can tell two sequences apart."""
     lanes = 4 if _HAS_AVX else 2
@@ -167,3 +180,92 @@ def test_differential_harness_detects_differences():
     mul = _wrap([instr("mulsd", xmm(0), xmm(1))])
     assert not np.array_equal(_run_native(add, inputs),
                               _run_native(mul, inputs))
+
+
+# ---------------------------------------------------------------------------
+# Tuning-space sweep under the emulator (every ISA, no toolchain needed)
+# ---------------------------------------------------------------------------
+
+
+def _edge_candidates(kernel, arch):
+    """The extremes of the tuner's space: smallest and largest unroll shape,
+    plus one prefetching variant (the emulator treats prefetch as a nop,
+    so its addressing code still executes)."""
+    cands = candidates_for(kernel, arch)
+    plain = [c for c in cands if c.config.prefetch_distance is None]
+    pf = [c for c in cands if c.config.prefetch_distance is not None]
+    picked = [plain[0], plain[-1]] + pf[-1:]
+    seen, out = set(), []
+    for c in picked:
+        if c.describe() not in seen:
+            seen.add(c.describe())
+            out.append(c)
+    return out
+
+
+def _sweep_cases():
+    for arch in ALL_ARCH_SPECS:
+        for kernel in ("gemm", "gemv", "axpy", "dot"):
+            for cand in _edge_candidates(kernel, arch):
+                yield pytest.param(
+                    arch, kernel, cand,
+                    id=f"{arch.name}-{kernel}-{cand.describe()}")
+        # the Shuf vectorization method (n x n grid) per ISA
+        for cand in candidates_for("gemm", arch, layout="shuf"):
+            if cand.strategy == "shuf":
+                yield pytest.param(
+                    arch, "gemm_shuf", cand,
+                    id=f"{arch.name}-gemm_shuf-{cand.describe()}")
+
+
+def _unroll_factor(config, var):
+    for v, f in config.unroll_jam + config.unroll:
+        if v == var:
+            return f
+    return 1
+
+
+@pytest.mark.parametrize("arch,kernel,cand", list(_sweep_cases()))
+def test_tuner_config_sweep_under_emulator(arch, kernel, cand, rng):
+    gk = Augem(arch=arch).generate_named(kernel, config=cand.config,
+                                         strategy=cand.strategy,
+                                         name="sweep_kernel")
+    cfg = cand.config
+    if kernel in ("gemm", "gemm_shuf"):
+        mu = _unroll_factor(cfg, "i")
+        nu = _unroll_factor(cfg, "j")
+        ku = _unroll_factor(cfg, "l")
+        mc, nc, kc = mu, 2 * nu, 2 * math.lcm(ku, 4)
+        ldc = mc + 4
+        a = rng.standard_normal(kc * mc)
+        b = rng.standard_normal(nc * kc)
+        c = rng.standard_normal(ldc * nc)
+        ref = gemm_ref_packed(a, b, c, mc, nc, kc, ldc,
+                              layout="shuf" if kernel == "gemm_shuf"
+                              else "dup")
+        call_kernel(gk, [mc, nc, kc, a, b, c, ldc])
+        np.testing.assert_allclose(c, ref, rtol=1e-12, atol=1e-12)
+    elif kernel == "gemv":
+        u = _unroll_factor(cfg, "j")
+        m, n, lda = 2 * u, 5, 2 * u + 4
+        a = rng.standard_normal(n * lda)
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(m)
+        ref = y + a.reshape(n, lda)[:, :m].T @ x
+        call_kernel(gk, [m, n, a, lda, x, y])
+        np.testing.assert_allclose(y, ref, rtol=1e-12, atol=1e-12)
+    elif kernel == "axpy":
+        u = _unroll_factor(cfg, "i")
+        n = 2 * u
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+        ref = y + 1.5 * x
+        call_kernel(gk, [n, 1.5, x, y])
+        np.testing.assert_allclose(y, ref, rtol=1e-12, atol=1e-12)
+    else:  # dot
+        u = _unroll_factor(cfg, "i")
+        n = 2 * u
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+        got = call_kernel(gk, [n, x, y])
+        np.testing.assert_allclose(got, x @ y, rtol=1e-10)

@@ -1,0 +1,35 @@
+	.section .note.GNU-stack,"",@progbits
+	.text
+	.globl golden_axpy_u
+	.type golden_axpy_u, @function
+	.p2align 4
+golden_axpy_u:
+	sub	$80, %rsp
+	mov	%rdi, (%rsp)	# arg N
+	vmovsd	%xmm0, 8(%rsp)	# arg alpha
+	mov	%rsi, 16(%rsp)	# arg X
+	mov	%rdx, 24(%rsp)	# arg Y
+	mov	16(%rsp), %r8	# home X
+	mov	24(%rsp), %r9	# home Y
+	mov	(%rsp), %rcx	# home N
+	mov	%r9, %rdi
+	mov	%r8, %rsi
+	mov	$0, %rdx
+	jmp	.LBL0
+.LBL1:
+	# --- mvUnrolledCOMP ---
+	vbroadcastsd	8(%rsp), %ymm10	# broadcast param alpha
+	vmovupd	(%rsi), %ymm0	# Vld ptr_X0[0..3]
+	vmovupd	(%rdi), %ymm5	# Vld ptr_Y0[0..3]
+	vfmadd231pd	%ymm0, %ymm10, %ymm5	# B += A*alpha
+	vmovupd	%ymm5, (%rdi)	# Vst ptr_Y0[0..3]
+	add	$32, %rdi	# ptr_Y0 += 4
+	add	$32, %rsi	# ptr_X0 += 4
+	add	$4, %rdx
+.LBL0:
+	cmp	%rcx, %rdx
+	jl	.LBL1
+	vzeroupper
+	add	$80, %rsp
+	ret
+	.size golden_axpy_u, .-golden_axpy_u

@@ -1,0 +1,119 @@
+	.section .note.GNU-stack,"",@progbits
+	.text
+	.globl golden_gemm_u
+	.type golden_gemm_u, @function
+	.p2align 4
+golden_gemm_u:
+	push	%r12
+	push	%r13
+	push	%r14
+	push	%r15
+	push	%rbp
+	push	%rbx
+	sub	$96, %rsp
+	mov	%rdi, (%rsp)	# arg Mc
+	mov	%rsi, 8(%rsp)	# arg Nc
+	mov	%rdx, 16(%rsp)	# arg Kc
+	mov	%rcx, 24(%rsp)	# arg A
+	mov	%r8, 32(%rsp)	# arg B
+	mov	%r9, 40(%rsp)	# arg C
+	mov	152(%rsp), %rax	# stack arg LDC
+	mov	%rax, 48(%rsp)
+	mov	(%rsp), %rbx	# home Mc
+	mov	16(%rsp), %r10	# home Kc
+	mov	24(%rsp), %r14	# home A
+	mov	32(%rsp), %r13	# home B
+	mov	48(%rsp), %r15	# home LDC
+	mov	$0, %r12
+	jmp	.LBL0
+.LBL1:
+	mov	%r12, %rax
+	imul	%r15, %rax
+	mov	40(%rsp), %r8
+	lea	(%r8,%rax,8), %r8
+	mov	%r12, %rax
+	imul	%r15, %rax
+	mov	40(%rsp), %r9
+	add	%r15, %rax
+	lea	(%r9,%rax,8), %r9
+	mov	$0, %rbp
+	jmp	.LBL2
+.LBL3:
+	mov	%r14, %rdi
+	mov	%rbp, %rax
+	lea	(%rdi,%rax,8), %rdi
+	mov	%r12, %rax
+	imul	%r10, %rax
+	mov	%r13, %rsi
+	lea	(%rsi,%rax,8), %rsi
+	mov	%r12, %rax
+	imul	%r10, %rax
+	mov	%r13, %rdx
+	add	%r10, %rax
+	xorpd	%xmm8, %xmm8
+	xorpd	%xmm9, %xmm9
+	xorpd	%xmm10, %xmm10
+	xorpd	%xmm11, %xmm11
+	lea	(%rdx,%rax,8), %rdx
+	mov	$0, %rcx
+	jmp	.LBL4
+.LBL5:
+	# --- mmUnrolledCOMP ---
+	movupd	(%rdi), %xmm0	# Vld ptr_A0[0..1]
+	movupd	16(%rdi), %xmm1	# Vld ptr_A0[2..3]
+	movddup	(%rsi), %xmm4	# Vdup ptr_B0[0]
+	movapd	%xmm0, %xmm12	# acc(res_u0_u0..) += A*ptr_B0[0]
+	movapd	%xmm1, %xmm13	# acc(res_u0_u2..) += A*ptr_B0[0]
+	movddup	(%rdx), %xmm5	# Vdup ptr_B1[0]
+	movapd	%xmm0, %xmm14	# acc(res_u1_u0..) += A*ptr_B1[0]
+	movapd	%xmm1, %xmm15	# acc(res_u1_u2..) += A*ptr_B1[0]
+	mulpd	%xmm4, %xmm12
+	mulpd	%xmm4, %xmm13
+	mulpd	%xmm5, %xmm14
+	mulpd	%xmm5, %xmm15
+	addpd	%xmm12, %xmm8
+	addpd	%xmm13, %xmm9
+	addpd	%xmm14, %xmm10
+	addpd	%xmm15, %xmm11
+	add	$8, %rsi	# ptr_B0 += 1
+	mov	%rbx, %rax
+	add	$8, %rdx	# ptr_B1 += 1
+	lea	(%rdi,%rax,8), %rdi	# ptr_A0 += ...
+	add	$1, %rcx
+.LBL4:
+	cmp	%r10, %rcx
+	jl	.LBL5
+	# --- mmUnrolledSTORE ---
+	movupd	(%r8), %xmm12	# Vld ptr_C0[0..1]
+	addpd	%xmm8, %xmm12
+	movupd	%xmm12, (%r8)	# Vst ptr_C0[0..1]
+	movupd	16(%r8), %xmm13	# Vld ptr_C0[2..3]
+	addpd	%xmm9, %xmm13
+	movupd	%xmm13, 16(%r8)	# Vst ptr_C0[2..3]
+	# --- mmUnrolledSTORE ---
+	movupd	(%r9), %xmm14	# Vld ptr_C1[0..1]
+	addpd	%xmm10, %xmm14
+	movupd	%xmm14, (%r9)	# Vst ptr_C1[0..1]
+	movupd	16(%r9), %xmm15	# Vld ptr_C1[2..3]
+	addpd	%xmm11, %xmm15
+	movupd	%xmm15, 16(%r9)	# Vst ptr_C1[2..3]
+	add	$32, %r8	# ptr_C0 += 4
+	add	$32, %r9	# ptr_C1 += 4
+	add	$4, %rbp
+.LBL2:
+	cmp	%rbx, %rbp
+	jl	.LBL3
+	add	$2, %r12
+.LBL0:
+	mov	8(%rsp), %rax
+	cmp	%rax, %r12
+	jl	.LBL1
+	add	$96, %rsp
+	pop	%rbx
+	pop	%rbp
+	pop	%r15
+	pop	%r14
+	pop	%r13
+	pop	%r12
+	ret
+	.size golden_gemm_u, .-golden_gemm_u

@@ -1,0 +1,125 @@
+"""Tests for the GFLOPS baseline gate (record / check / CLI exit codes)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.backend import timer
+from repro.obs import baseline
+from repro.obs.baseline import (
+    BaselineError,
+    CheckRow,
+    EXIT_REGRESSION,
+    WORKLOAD_VERSION,
+    load_baseline,
+    render_check,
+)
+
+from tests.conftest import needs_cc
+
+
+def test_render_check_flags_regressions():
+    rows = [
+        CheckRow("gemm", 30.0, 29.0, regressed=False),
+        CheckRow("axpy", 4.0, 2.0, regressed=True),
+        CheckRow("new", None, 5.0, regressed=False),
+    ]
+    out = render_check(rows, threshold=0.15)
+    assert "REGRESSED" in out
+    assert "regression (> 15% GFLOPS loss): axpy" in out
+    assert "-50.0%" in out
+    # a kernel absent from the baseline renders without a delta
+    assert any(line.startswith("new") and " - " in f" {line} "
+               for line in out.splitlines()) or "-" in out
+
+
+def test_render_check_all_ok():
+    rows = [CheckRow("gemm", 30.0, 31.0, regressed=False)]
+    out = render_check(rows, threshold=0.15)
+    assert "REGRESSED" not in out
+    assert "within 15%" in out
+
+
+def test_load_baseline_missing(tmp_path):
+    with pytest.raises(BaselineError, match="no baseline"):
+        load_baseline(tmp_path / "absent.json")
+
+
+def test_load_baseline_unreadable(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(BaselineError, match="unreadable"):
+        load_baseline(path)
+
+
+def test_load_baseline_workload_version_mismatch(tmp_path):
+    path = tmp_path / "old.json"
+    path.write_text(json.dumps({"workload_version": WORKLOAD_VERSION + 1,
+                                "kernels": {}}))
+    with pytest.raises(BaselineError, match="workload version"):
+        load_baseline(path)
+
+
+def test_cli_check_without_baseline_exits_2(tmp_path, capsys):
+    rc = main(["bench", "baseline", "check",
+               "--path", str(tmp_path / "none.json")])
+    assert rc == 2
+    assert "no baseline" in capsys.readouterr().err
+
+
+@needs_cc
+def test_record_then_check_roundtrip_via_cli(tmp_path, capsys):
+    path = tmp_path / "baseline.json"
+    rc = main(["bench", "baseline", "record", "--path", str(path),
+               "--kernels", "axpy", "--batches", "1"])
+    assert rc == 0
+    record = json.loads(path.read_text())
+    assert record["workload_version"] == WORKLOAD_VERSION
+    assert "axpy" in record["kernels"]
+    assert record["kernels"]["axpy"]["gflops"] > 0
+
+    # wide threshold: this asserts the round-trip plumbing, not that the
+    # CI box is quiet enough to repeat a measurement within 15%
+    rc = main(["bench", "baseline", "check", "--path", str(path),
+               "--kernels", "axpy", "--batches", "1",
+               "--threshold", "0.9"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "axpy" in out and "REGRESSED" not in out
+
+
+@needs_cc
+def test_synthetic_slowdown_exits_3(tmp_path, capsys, monkeypatch):
+    path = tmp_path / "baseline.json"
+    assert main(["bench", "baseline", "record", "--path", str(path),
+                 "--kernels", "axpy", "--batches", "1"]) == 0
+
+    def slowed(fn, **kw):
+        m = timer.measure(fn, **kw)
+        return dataclasses.replace(m, best=m.best * 4.0)
+
+    monkeypatch.setattr(baseline, "measure", slowed)
+    # a 4x synthetic slowdown must trip even a generous 50% threshold,
+    # and machine noise alone cannot mask it
+    rc = main(["bench", "baseline", "check", "--path", str(path),
+               "--kernels", "axpy", "--batches", "1",
+               "--threshold", "0.5"])
+    assert rc == EXIT_REGRESSION
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+@needs_cc
+def test_check_rejects_other_arch(tmp_path, capsys):
+    path = tmp_path / "baseline.json"
+    assert main(["bench", "baseline", "record", "--path", str(path),
+                 "--kernels", "axpy", "--batches", "1"]) == 0
+    record = json.loads(path.read_text())
+    record["arch"] = "some_other_arch"
+    path.write_text(json.dumps(record))
+    rc = main(["bench", "baseline", "check", "--path", str(path)])
+    assert rc == 2
+    assert "re-record" in capsys.readouterr().err

@@ -1,0 +1,64 @@
+"""Acceptance: a traced tuning run produces a complete, renderable trace."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.report import render_report
+from repro.tuning.space import candidates_for
+from repro.isa.arch import detect_host
+
+from tests.conftest import needs_cc
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_tracer():
+    trace.stop_trace()
+    yield
+    trace.stop_trace()
+
+
+@needs_cc
+def test_traced_tune_kernel_emits_full_pipeline(tmp_path):
+    from repro.tuning.search import tune_kernel
+
+    arch = detect_host()
+    candidates = candidates_for("axpy", arch)[:2]
+    path = tmp_path / "tune.jsonl"
+    trace.start_trace(str(path))
+    result = tune_kernel("axpy", arch=arch, candidates=candidates,
+                         batches=1, reuse=False)
+    trace.stop_trace()
+    assert result.best is not None
+
+    records = [json.loads(line) for line in open(path)]
+    span_names = {r["name"] for r in records if r["ev"] == "span"}
+    # all four pipeline stages plus the tuner's own spans
+    for name in ("pipeline.c_opt", "pipeline.identify", "pipeline.plan",
+                 "pipeline.asmgen", "tune.kernel", "tune.prepare",
+                 "sandbox.trial"):
+        assert name in span_names, f"span {name} missing from trace"
+
+    trials = [r for r in records
+              if r["ev"] == "event" and r["name"] == "tune.trial"]
+    assert len(trials) == len(candidates)
+    for t in trials:
+        attrs = t["attrs"]
+        assert attrs["kernel"] == "axpy"
+        assert attrs["category"] in ("ok", "failed", "crashed", "timeout",
+                                     "quarantined")
+        assert "cached" in attrs
+        if attrs["category"] == "ok":
+            assert attrs["gflops"] > 0
+
+    # the tune.kernel span carries the summary
+    tune_spans = [r for r in records
+                  if r["ev"] == "span" and r["name"] == "tune.kernel"]
+    assert tune_spans[0]["attrs"]["trials"] == len(candidates)
+    assert tune_spans[0]["attrs"]["best_gflops"] > 0
+
+    out = render_report(records)
+    assert "axpy" in out and "pipeline.asmgen" in out

@@ -1,0 +1,120 @@
+"""Tests for trace loading and report rendering, incl. the CLI path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs import trace
+from repro.obs.report import TraceError, load_trace, render_report
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_tracer():
+    trace.stop_trace()
+    yield
+    trace.stop_trace()
+
+
+def _write_trace(path, records):
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+
+
+SAMPLE = [
+    {"ev": "start", "version": 1, "pid": 1, "unix_time": 0.0},
+    {"ev": "span", "name": "pipeline.generate", "id": 1, "t0": 0.0,
+     "dur": 0.25},
+    {"ev": "span", "name": "pipeline.c_opt", "id": 2, "parent": 1,
+     "t0": 0.0, "dur": 0.1},
+    {"ev": "event", "name": "tune.trial", "t": 0.2,
+     "attrs": {"kernel": "axpy", "category": "ok", "cached": False,
+               "gflops": 5.5, "candidate": "u(i)=4"}},
+    {"ev": "event", "name": "tune.trial", "t": 0.3,
+     "attrs": {"kernel": "axpy", "category": "failed", "cached": False}},
+    {"ev": "event", "name": "tune.trial", "t": 0.4,
+     "attrs": {"kernel": "axpy", "category": "ok", "cached": True,
+               "gflops": 4.0, "candidate": "u(i)=8"}},
+    {"ev": "counter", "name": "cache.miss", "value": 3},
+    {"ev": "end", "t": 1.0},
+]
+
+
+def test_load_trace_roundtrip(tmp_path):
+    path = tmp_path / "t.jsonl"
+    _write_trace(path, SAMPLE)
+    records = load_trace(path)
+    assert len(records) == len(SAMPLE)
+    assert records[0]["ev"] == "start"
+
+
+def test_load_trace_rejects_bad_json(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"ev": "start"}\nnot json at all\n')
+    with pytest.raises(TraceError, match=":2"):
+        load_trace(path)
+
+
+def test_load_trace_rejects_non_trace_records(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"hello": "world"}\n')
+    with pytest.raises(TraceError, match="missing 'ev'"):
+        load_trace(path)
+
+
+def test_load_trace_rejects_empty(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text("\n\n")
+    with pytest.raises(TraceError, match="empty"):
+        load_trace(path)
+
+
+def test_render_report_sections():
+    out = render_report(SAMPLE)
+    assert "-- per-stage timing --" in out
+    assert "pipeline.generate" in out and "pipeline.c_opt" in out
+    assert "-- per-kernel trials --" in out
+    assert "axpy: 3 trials" in out
+    assert "failed=1" in out and "ok=2" in out
+    assert "1 cached" in out
+    assert "best 5.50 GFLOPS" in out and "u(i)=4" in out
+    assert "-- counters --" in out
+    assert "cache.miss" in out
+
+
+def test_render_report_empty_sections():
+    out = render_report([{"ev": "start", "version": 1}])
+    assert "(no spans recorded)" in out
+    assert "(no tuning trials recorded)" in out
+
+
+def test_cli_trace_report(tmp_path, capsys):
+    path = tmp_path / "t.jsonl"
+    _write_trace(path, SAMPLE)
+    assert main(["trace", "report", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "per-stage timing" in out
+
+
+def test_cli_trace_report_bad_file(tmp_path, capsys):
+    path = tmp_path / "t.jsonl"
+    path.write_text("garbage\n")
+    assert main(["trace", "report", str(path)]) == 2
+    assert "bad trace" in capsys.readouterr().err
+
+
+def test_cli_records_trace_of_generate(tmp_path, capsys):
+    """python -m repro --trace X generate ... leaves a renderable trace
+    containing every pipeline stage."""
+    path = tmp_path / "gen.jsonl"
+    assert main(["--trace", str(path), "generate", "axpy",
+                 "--arch", "generic_sse"]) == 0
+    trace.stop_trace()
+    capsys.readouterr()
+    records = load_trace(path)
+    names = {r["name"] for r in records if r["ev"] == "span"}
+    for stage in ("pipeline.generate", "pipeline.c_opt",
+                  "pipeline.identify", "pipeline.plan", "pipeline.asmgen"):
+        assert stage in names
+    assert "pipeline.c_opt" in render_report(records)

@@ -1,0 +1,158 @@
+"""Unit tests for the structured tracer (spans, events, counters)."""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_tracer():
+    """Every test starts and ends with tracing disabled."""
+    trace.stop_trace()
+    yield
+    trace.stop_trace()
+
+
+def read_records(path):
+    return [json.loads(line) for line in open(path)]
+
+
+def test_disabled_by_default_and_noop():
+    assert not trace.enabled()
+    assert trace.current_tracer() is None
+    # the disabled call-site API must be callable and inert
+    with trace.span("anything", attr=1) as sp:
+        sp.set(more=2)
+    trace.event("anything", x=1)
+    trace.incr("anything")
+
+
+def test_start_stop_produces_valid_jsonl(tmp_path):
+    path = tmp_path / "t.jsonl"
+    trace.start_trace(str(path))
+    assert trace.enabled()
+    with trace.span("outer", a=1):
+        with trace.span("inner"):
+            trace.event("ping", n=7)
+    trace.incr("widgets", 3)
+    trace.incr("widgets", 2)
+    trace.stop_trace()
+    assert not trace.enabled()
+
+    records = read_records(path)
+    assert records[0]["ev"] == "start"
+    assert records[0]["version"] == trace.TRACE_VERSION
+    assert records[-1]["ev"] == "end"
+
+    spans = {r["name"]: r for r in records if r["ev"] == "span"}
+    assert set(spans) == {"outer", "inner"}
+    # inner closes first and points at outer
+    assert spans["inner"]["parent"] == spans["outer"]["id"]
+    assert "parent" not in spans["outer"]
+    assert spans["outer"]["attrs"] == {"a": 1}
+    assert spans["outer"]["dur"] >= spans["inner"]["dur"] >= 0
+
+    events = [r for r in records if r["ev"] == "event"]
+    assert events[0]["name"] == "ping"
+    assert events[0]["attrs"] == {"n": 7}
+    assert events[0]["span"] == spans["inner"]["id"]
+
+    counters = {r["name"]: r["value"] for r in records
+                if r["ev"] == "counter"}
+    assert counters == {"widgets": 5}
+
+
+def test_span_attrs_are_json_safe(tmp_path):
+    path = tmp_path / "t.jsonl"
+    trace.start_trace(str(path))
+    with trace.span("s", none_dropped=None, obj=object(), ok="x"):
+        pass
+    trace.stop_trace()
+    attrs = [r for r in read_records(path) if r["ev"] == "span"][0]["attrs"]
+    assert "none_dropped" not in attrs
+    assert attrs["ok"] == "x"
+    assert isinstance(attrs["obj"], str)
+
+
+def test_span_records_error_and_propagates(tmp_path):
+    path = tmp_path / "t.jsonl"
+    trace.start_trace(str(path))
+    with pytest.raises(ValueError):
+        with trace.span("boom"):
+            raise ValueError("bad")
+    trace.stop_trace()
+    span = [r for r in read_records(path) if r["ev"] == "span"][0]
+    assert "ValueError" in span["attrs"]["error"]
+
+
+def test_init_from_env_honors_off_values(tmp_path):
+    for off in ("", "0", "off", "none", "FALSE", "disabled"):
+        assert trace.init_from_env({"REPRO_TRACE": off}) is None
+    assert trace.init_from_env({}) is None
+    path = tmp_path / "env.jsonl"
+    tracer = trace.init_from_env({"REPRO_TRACE": str(path)})
+    assert tracer is not None and trace.enabled()
+    trace.stop_trace()
+    assert read_records(path)[0]["ev"] == "start"
+
+
+def test_start_trace_creates_parent_dirs(tmp_path):
+    path = tmp_path / "deep" / "er" / "t.jsonl"
+    trace.start_trace(str(path))
+    trace.stop_trace()
+    assert path.exists()
+
+
+def test_progress_writes_stderr_not_stdout(tmp_path, capsys):
+    trace.progress("working...")
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "working..." in captured.err
+
+    path = tmp_path / "t.jsonl"
+    trace.start_trace(str(path))
+    trace.progress("mirrored")
+    trace.stop_trace()
+    capsys.readouterr()
+    events = [r for r in read_records(path) if r["ev"] == "event"]
+    assert events and events[0]["attrs"]["message"] == "mirrored"
+
+
+def test_threaded_spans_keep_independent_stacks(tmp_path):
+    path = tmp_path / "t.jsonl"
+    trace.start_trace(str(path))
+
+    def worker(tag):
+        with trace.span(f"thread.{tag}"):
+            trace.event("tick", tag=tag)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    with trace.span("main"):
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    trace.stop_trace()
+    records = read_records(path)
+    spans = {r["name"]: r for r in records if r["ev"] == "span"}
+    # worker spans never nest under "main" (different threads)
+    for i in range(4):
+        assert "parent" not in spans[f"thread.{i}"]
+    # every line is valid standalone JSON (no interleaving corruption)
+    assert all(r["ev"] in ("start", "span", "event", "counter", "end")
+               for r in records)
+
+
+def test_stderr_sink_is_not_closed(capsys):
+    trace.start_trace("-")
+    trace.event("e")
+    trace.stop_trace()
+    assert not sys.stderr.closed
+    err = capsys.readouterr().err
+    assert '"ev":"start"' in err and '"ev":"end"' in err

@@ -352,3 +352,22 @@ def test_report_includes_category_summary_line():
     rep = r.report()
     assert "3 trials: ok=1 failed=0 crashed=1 timeout=0 quarantined=1" in rep
     assert "crashed: SIGSEGV in candidate x" in rep
+
+
+@needs_cc
+def test_tune_kernel_never_writes_stdout(capsys):
+    """stdout belongs to machine-readable output; quiet tuning must emit
+    nothing there, and verbose narration goes to stderr (via obs.progress),
+    never stdout."""
+    cands = [Candidate(OptimizationConfig(unroll=(("i", n),)))
+             for n in (2, 4)]
+    tune_kernel("axpy", candidates=cands, batches=1, reuse=False,
+                verbose=False)
+    captured = capsys.readouterr()
+    assert captured.out == ""
+
+    tune_kernel("axpy", candidates=cands, batches=1, reuse=False,
+                verbose=True)
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "u(i)=2" in captured.err  # narration still reaches the user
