@@ -8,6 +8,10 @@ Usage::
     python -m repro validate dgemm.S --kernel gemm
     python -m repro tune axpy --jobs 4
     python -m repro tune gemm --isolation=fork --trial-timeout=30
+    python -m repro tune gemm --resume
+    python -m repro tune sessions list
+    python -m repro tune sessions resume <session-id>
+    python -m repro tune sessions gc --max-age-days 7
     python -m repro cache stats
     python -m repro --trace run.jsonl tune gemm
     python -m repro trace report run.jsonl
@@ -155,19 +159,88 @@ def cmd_validate(args) -> int:
 
 def cmd_tune(args) -> int:
     from .backend.compiler import ToolchainUnavailable
-    from .tuning.search import tune_kernel
+    from .tuning.search import EXIT_INTERRUPTED, TuningInterrupted, tune_kernel
 
+    if args.kernel == "sessions":
+        return cmd_tune_sessions(args)
+    if args.session_action is not None:
+        raise SystemExit(
+            f"unexpected argument {args.session_action!r} "
+            f"(session actions go with 'tune sessions')")
     try:
         result = tune_kernel(
             args.kernel, verbose=args.verbose, jobs=args.jobs,
             reuse=not args.no_reuse,
             isolation=None if args.isolation == "auto" else args.isolation,
-            trial_timeout=args.trial_timeout)
+            trial_timeout=args.trial_timeout, resume=args.resume)
     except ToolchainUnavailable as exc:
         print(f"tuning unavailable: {exc}", file=sys.stderr)
         return 2
+    except TuningInterrupted as exc:
+        # the search already sealed its session and narrated the resume
+        # hint on stderr; exit distinctly so wrappers can tell "stopped
+        # cleanly, resumable" from success and from hard failure
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return EXIT_INTERRUPTED
     print(result.report())
     return 0
+
+
+def cmd_tune_sessions(args) -> int:
+    """``tune sessions {list,show,resume,gc}`` — manage durable sessions."""
+    from .tuning import session as sessions
+
+    action = args.session_action or "list"
+    if sessions.sessions_root() is None:
+        print("sessions unavailable: persistent cache disabled "
+              "(REPRO_CACHE_DIR=off)", file=sys.stderr)
+        return 2
+    if action == "list":
+        found = sessions.list_sessions()
+        if not found:
+            print("no recorded tuning sessions")
+            return 0
+        for s in found:
+            print(s.describe())
+        return 0
+    if action == "gc":
+        result = sessions.gc_sessions(
+            max_age=args.max_age_days * 86400.0,
+            include_resumable=args.all)
+        print(f"removed {len(result.removed)} session"
+              f"{'' if len(result.removed) == 1 else 's'}, "
+              f"kept {len(result.kept)}")
+        return 0
+    if args.session_id is None:
+        raise SystemExit(f"'tune sessions {action}' needs a session id")
+    session = sessions.get_session(args.session_id)
+    if session is None:
+        print(f"no session {args.session_id!r}", file=sys.stderr)
+        return 2
+    if action == "show":
+        import json as _json
+
+        print(_json.dumps(session.manifest, indent=2))
+        entries = session.journal_entries()
+        print(f"journal: {len(entries)} trial"
+              f"{'' if len(entries) == 1 else 's'}")
+        for rec in entries:
+            status = (f"{rec.gflops:7.2f} GF" if rec.gflops >= 0
+                      else f"{rec.category}: {rec.error}")
+            print(f"  #{rec.index:<3} {rec.candidate:<55s} {status}")
+        return 0
+    if action == "resume":
+        if not session.is_resumable():
+            print(f"session {session.id} is {session.status}"
+                  f"{' and still live' if session.is_live() else ''}; "
+                  f"nothing to resume", file=sys.stderr)
+            return 2
+        m = session.manifest
+        args.kernel = m.get("kernel", "axpy")
+        args.resume = True
+        args.session_action = None
+        return cmd_tune(args)
+    raise SystemExit(f"unknown sessions action {action!r}")
 
 
 def cmd_cache(args) -> int:
@@ -187,6 +260,7 @@ def cmd_cache(args) -> int:
     print(f"compiled entries: {inv['entries']} ({inv['bytes']} bytes)")
     print(f"tuning records:   {inv['tuning_records']}")
     print(f"quarantined:      {inv['quarantined']}")
+    print(f"sessions:         {inv['sessions']}")
     print(f"cumulative:       {totals.describe()}")
     return 0
 
@@ -265,13 +339,33 @@ def main(argv=None) -> int:
     v.add_argument("--m", type=int, default=None,
                    help="problem size override")
 
-    t = sub.add_parser("tune", help="empirical configuration search")
-    t.add_argument("kernel", choices=["gemm", "gemv", "axpy", "dot"])
+    t = sub.add_parser("tune",
+                       help="empirical configuration search "
+                            "(or 'tune sessions {list,show,resume,gc}')")
+    t.add_argument("kernel",
+                   choices=["gemm", "gemv", "axpy", "dot", "sessions"])
+    t.add_argument("session_action", nargs="?", default=None,
+                   choices=["list", "show", "resume", "gc"],
+                   help="with 'tune sessions': manage durable tuning "
+                        "sessions")
+    t.add_argument("session_id", nargs="?", default=None,
+                   help="session id for 'sessions show' / "
+                        "'sessions resume'")
     t.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
                    help="parallel generate/assemble workers (timing stays "
                         "serial)")
     t.add_argument("--no-reuse", action="store_true",
                    help="ignore persisted tuning measurements")
+    t.add_argument("--resume", action="store_true",
+                   help="continue the latest interrupted/abandoned session "
+                        "for this search: replay its journaled trials and "
+                        "pick up where it stopped")
+    t.add_argument("--max-age-days", type=float, default=7.0, metavar="D",
+                   help="with 'sessions gc': prune sessions idle longer "
+                        "than this (default 7 days)")
+    t.add_argument("--all", action="store_true",
+                   help="with 'sessions gc': also prune resumable "
+                        "(interrupted/abandoned) sessions")
     t.add_argument("--isolation", choices=["auto", "fork", "none"],
                    default="auto",
                    help="run each candidate's validation in a sandboxed "

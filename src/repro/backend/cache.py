@@ -34,11 +34,13 @@ import os
 import shutil
 import tempfile
 import uuid
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
 
 from ..obs import incr
+from .locks import NULL_LOCK, LockTimeout, cache_lock
 
 _DISABLED_VALUES = {"off", "none", "0", "disabled", "false"}
 
@@ -60,6 +62,7 @@ class CacheStats:
     tuning_puts: int = 0     # tuning measurements persisted
     quarantine_hits: int = 0  # known-crashing candidates skipped
     quarantine_puts: int = 0  # candidates newly quarantined
+    lock_timeouts: int = 0   # cache-lock waits that gave up (wrote unlocked)
     toolchain_invocations: int = 0
     toolchain_retries: int = 0  # transient-failure retry attempts
     build_seconds: float = 0.0  # wall time spent inside the toolchain
@@ -81,6 +84,7 @@ class CacheStats:
             f"tuning hits={self.tuning_hits} puts={self.tuning_puts} "
             f"quarantine hits={self.quarantine_hits} "
             f"puts={self.quarantine_puts} "
+            f"lock timeouts={self.lock_timeouts} "
             f"toolchain calls={self.toolchain_invocations} "
             f"retries={self.toolchain_retries} "
             f"build time={self.build_seconds:.2f}s"
@@ -105,8 +109,16 @@ class KernelCache:
         objects/<k0:2>/<key>/   one compiled entry: meta.json + *.so
         tuning/<k0:2>/<key>.json   one persisted tuning measurement
         quarantine/<k0:2>/<key>.json   one known-crashing candidate
+        sessions/<id>/          durable tuning sessions (manifest + journal)
+        locks/                  advisory lock files (see backend.locks)
         tmp/                    scratch for atomic publishes
         stats.json              cumulative counters across processes
+
+    Mutations of shared JSON records run under an advisory file lock
+    (:mod:`repro.backend.locks`) so concurrent tuners on one store never
+    interleave read-modify-write sequences.  A lock that cannot be
+    acquired within its budget degrades to an unlocked (still
+    individually atomic) write — the cache never deadlocks a build.
     """
 
     def __init__(self, root: Optional[Path]) -> None:
@@ -133,6 +145,29 @@ class KernelCache:
         tmp = self.root / "tmp"
         tmp.mkdir(parents=True, exist_ok=True)
         return Path(tempfile.mkdtemp(dir=tmp))
+
+    # -- inter-process locking --------------------------------------------
+
+    @contextmanager
+    def _locked(self, name: str = "cache"):
+        """Best-effort advisory lock around one store mutation.
+
+        A timed-out wait is counted and the mutation proceeds unlocked:
+        every write below is individually atomic, so the worst case of
+        losing the lock race is a lost *merge* (stats), never a corrupt
+        record.
+        """
+        lock = cache_lock(self.root if self.enabled else None, name=name)
+        try:
+            lock.acquire()
+        except LockTimeout:
+            self.stats.lock_timeouts += 1
+            incr("cache.lock_timeout")
+            lock = NULL_LOCK
+        try:
+            yield
+        finally:
+            lock.release()
 
     # -- compiled-object entries ------------------------------------------
 
@@ -188,7 +223,8 @@ class KernelCache:
             self.stats.errors += 1
             return None
         try:
-            workdir.rename(entry)
+            with self._locked("publish"):
+                workdir.rename(entry)
         except OSError:
             # a concurrent builder published first; use theirs
             shutil.rmtree(workdir, ignore_errors=True)
@@ -232,10 +268,11 @@ class KernelCache:
             return
         path = self._tuning_path(key)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_name(f".{path.name}.{uuid.uuid4().hex}.tmp")
-            tmp.write_text(json.dumps(record, indent=2))
-            os.replace(tmp, path)
+            with self._locked("tuning"):
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_name(f".{path.name}.{uuid.uuid4().hex}.tmp")
+                tmp.write_text(json.dumps(record, indent=2))
+                os.replace(tmp, path)
         except OSError:
             self.stats.errors += 1  # measurements are best-effort too
             return
@@ -273,10 +310,11 @@ class KernelCache:
             return
         path = self._quarantine_path(key)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_name(f".{path.name}.{uuid.uuid4().hex}.tmp")
-            tmp.write_text(json.dumps(record, indent=2))
-            os.replace(tmp, path)
+            with self._locked("quarantine"):
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_name(f".{path.name}.{uuid.uuid4().hex}.tmp")
+                tmp.write_text(json.dumps(record, indent=2))
+                os.replace(tmp, path)
         except OSError:
             self.stats.errors += 1  # quarantine is best-effort too
             return
@@ -305,7 +343,12 @@ class KernelCache:
         if quarantine.exists():
             removed += sum(1 for p in quarantine.rglob("*.json"))
             shutil.rmtree(quarantine, ignore_errors=True)
+        sessions = self.root / "sessions"
+        if sessions.exists():
+            removed += sum(1 for p in sessions.iterdir() if p.is_dir())
+            shutil.rmtree(sessions, ignore_errors=True)
         shutil.rmtree(self.root / "tmp", ignore_errors=True)
+        shutil.rmtree(self.root / "locks", ignore_errors=True)
         stats_path = self.root / "stats.json"
         if stats_path.exists():
             stats_path.unlink()
@@ -317,6 +360,7 @@ class KernelCache:
         info: Dict[str, Any] = {
             "root": str(self.root) if self.enabled else "(disabled)",
             "entries": 0, "bytes": 0, "tuning_records": 0, "quarantined": 0,
+            "sessions": 0,
         }
         if not self.enabled or not self.root.exists():
             return info
@@ -333,6 +377,10 @@ class KernelCache:
         quarantine = self.root / "quarantine"
         if quarantine.exists():
             info["quarantined"] = sum(1 for _ in quarantine.rglob("*.json"))
+        sessions = self.root / "sessions"
+        if sessions.exists():
+            info["sessions"] = sum(1 for p in sessions.iterdir()
+                                   if p.is_dir())
         return info
 
     # -- cumulative stats --------------------------------------------------
@@ -359,15 +407,18 @@ class KernelCache:
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             path = self.root / "stats.json"
-            merged = CacheStats()
-            try:
-                merged.merge(json.loads(path.read_text()))
-            except (OSError, ValueError):
-                pass
-            merged.merge(live)
-            tmp = path.with_name(f".stats.{uuid.uuid4().hex}.tmp")
-            tmp.write_text(json.dumps(asdict(merged), indent=2))
-            os.replace(tmp, path)
+            # read-merge-write must be serialized across processes, or a
+            # concurrent tuner's counters are silently dropped
+            with self._locked("stats"):
+                merged = CacheStats()
+                try:
+                    merged.merge(json.loads(path.read_text()))
+                except (OSError, ValueError):
+                    pass
+                merged.merge(live)
+                tmp = path.with_name(f".stats.{uuid.uuid4().hex}.tmp")
+                tmp.write_text(json.dumps(asdict(merged), indent=2))
+                os.replace(tmp, path)
         except OSError:
             pass  # stats are best-effort; never fail the build over them
 

@@ -18,6 +18,7 @@ import atexit
 import ctypes
 import hashlib
 import os
+import random
 import shutil
 import subprocess
 import tempfile
@@ -151,7 +152,11 @@ def _run(cmd: Sequence[str], tag: str = "") -> None:
         if attempt:
             stats.toolchain_retries += 1
             incr("toolchain.retries")
-            time.sleep(min(_RETRY_BACKOFF * (2 ** (attempt - 1)), 1.0))
+            # jitter the exponential backoff so N tuners that hit the same
+            # transient failure (an OOM-killed assembler, a busy NFS
+            # server) do not retry in lockstep and re-collide
+            delay = min(_RETRY_BACKOFF * (2 ** (attempt - 1)), 1.0)
+            time.sleep(delay * (0.5 + random.random()))
         if take_fault("toolchain", tag=tag):
             last = f"injected toolchain fault (tag {tag!r})"
             continue

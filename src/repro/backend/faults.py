@@ -16,12 +16,15 @@ A plan is a list of specs, each ``kind@match[:count]``:
     validation, but never crashes)
     ``toolchain`` — make one assembler/compiler invocation fail (exercises
     the bounded-retry path in :mod:`repro.backend.compiler`)
+    ``interrupt`` — raise :class:`KeyboardInterrupt` in the tuning loop
+    just before the matching candidate's trial (exercises the durable
+    session / crash-resume path in :mod:`repro.tuning.session`)
 
 ``match``
-    ``#N`` fires at candidate index ``N`` (asm-stage faults only); any
-    other string fires when it is a substring of the stage tag (the
-    kernel symbol name for asm faults, the source tag for toolchain
-    faults).
+    ``#N`` fires at candidate index ``N`` (asm- and interrupt-stage
+    faults); any other string fires when it is a substring of the stage
+    tag (the kernel symbol name for asm/interrupt faults, the source tag
+    for toolchain faults).
 
 ``count``
     optional; the fault fires at most this many times, then disarms
@@ -44,7 +47,9 @@ from typing import List, Optional
 ASM_KINDS = frozenset({"segv", "ill", "hang", "wrong"})
 #: kinds realized inside the toolchain driver
 TOOLCHAIN_KINDS = frozenset({"toolchain"})
-ALL_KINDS = ASM_KINDS | TOOLCHAIN_KINDS
+#: kinds realized in the tuning loop (simulated operator interrupt)
+INTERRUPT_KINDS = frozenset({"interrupt"})
+ALL_KINDS = ASM_KINDS | TOOLCHAIN_KINDS | INTERRUPT_KINDS
 
 
 class FaultPlanError(ValueError):
@@ -61,7 +66,11 @@ class FaultSpec:
 
     @property
     def stage(self) -> str:
-        return "toolchain" if self.kind in TOOLCHAIN_KINDS else "asm"
+        if self.kind in TOOLCHAIN_KINDS:
+            return "toolchain"
+        if self.kind in INTERRUPT_KINDS:
+            return "interrupt"
+        return "asm"
 
     def matches(self, tag: str, index: Optional[int]) -> bool:
         if self.match.startswith("#"):

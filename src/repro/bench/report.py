@@ -3,9 +3,18 @@
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Publish via tempfile + ``os.replace`` so a concurrent reader (or a
+    crash mid-write) can never observe a half-written result file."""
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
 
 
 @dataclass
@@ -79,7 +88,7 @@ class FigureResult:
     def save(self, directory: Path) -> Path:
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / f"{self.figure_id}.json"
-        path.write_text(self.to_json())
+        _atomic_write_text(path, self.to_json())
         return path
 
 
@@ -104,7 +113,7 @@ class TableResult:
     def save(self, directory: Path) -> Path:
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / f"{self.table_id}.json"
-        path.write_text(json.dumps(
+        _atomic_write_text(path, json.dumps(
             {"table": self.table_id, "title": self.title,
              "columns": self.columns, "rows": self.rows}, indent=2))
         return path

@@ -17,6 +17,7 @@ baseline is only comparable to a check run on the identical problem.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -123,9 +124,11 @@ def record_baseline(path: Path = DEFAULT_PATH, kernels=DEFAULT_KERNELS,
     }
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
+    # pid-suffixed tempname: two concurrent recorders must never write
+    # (and then publish) through the same intermediate file
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
     tmp.write_text(json.dumps(record, indent=2) + "\n")
-    tmp.replace(path)
+    os.replace(tmp, path)
     return record
 
 

@@ -1,6 +1,22 @@
-"""Empirical tuning: candidate spaces and the measurement-driven search."""
+"""Empirical tuning: candidate spaces, the measurement-driven search,
+and durable crash-resumable search sessions."""
 
-from .search import TrialResult, TuningResult, tune_kernel
+from .search import (
+    EXIT_INTERRUPTED,
+    TrialResult,
+    TuningInterrupted,
+    TuningResult,
+    tune_kernel,
+)
+from .session import (
+    TrialRecord,
+    TuningSession,
+    find_resumable,
+    gc_sessions,
+    get_session,
+    list_sessions,
+    sessions_root,
+)
 from .space import (
     CANDIDATE_SPACES,
     Candidate,
@@ -22,4 +38,13 @@ __all__ = [
     "tune_kernel",
     "TuningResult",
     "TrialResult",
+    "TuningInterrupted",
+    "EXIT_INTERRUPTED",
+    "TuningSession",
+    "TrialRecord",
+    "sessions_root",
+    "list_sessions",
+    "get_session",
+    "find_resumable",
+    "gc_sessions",
 ]

@@ -23,14 +23,22 @@ Three layers make repeated searches cheap *and* crash-proof:
   trial instead of killing the search.  Candidates that crash or hang
   are **quarantined** in the persistent cache and skipped on re-tuning
   without being re-executed (``repro cache clear`` resets this).
+
+A fourth layer makes the search itself *durable*: every completed trial
+is appended to a per-session write-ahead journal
+(:mod:`repro.tuning.session`), SIGINT/SIGTERM finish the in-flight trial
+and seal the session instead of discarding it, and ``resume=True``
+replays the journal and continues where a killed process stopped.
 """
 
 from __future__ import annotations
 
 import hashlib
+import signal
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -41,7 +49,8 @@ from ..backend.sandbox import resolve_isolation, run_trial
 from ..backend.timer import measure
 from ..core.framework import Augem, GeneratedKernel, stable_kernel_name
 from ..isa.arch import ArchSpec, detect_host
-from ..obs import event, progress, span
+from ..obs import event, incr, progress, span
+from . import session as sessions
 from .space import Candidate, candidates_for
 
 #: bump when any benchmark workload below changes shape/size, so stale
@@ -50,6 +59,32 @@ _WORKLOAD_VERSION = 1
 
 #: trial outcome categories surfaced in reports (beyond "ok")
 FAILURE_CATEGORIES = ("failed", "crashed", "timeout", "quarantined")
+
+#: ``python -m repro tune`` exit status for a graceful interruption
+EXIT_INTERRUPTED = 4
+
+
+class TuningInterrupted(RuntimeError):
+    """The search stopped early (SIGINT/SIGTERM or an injected
+    ``interrupt`` fault) after sealing its session.
+
+    Carries everything a caller needs to print a resume hint and exit
+    with :data:`EXIT_INTERRUPTED`.
+    """
+
+    def __init__(self, kernel: str, reason: str,
+                 session_id: Optional[str], done: int, total: int) -> None:
+        self.kernel = kernel
+        self.reason = reason
+        self.session_id = session_id
+        self.done = done
+        self.total = total
+        hint = (f"; resume with: python -m repro tune {kernel} --resume"
+                if session_id else
+                "; no session journal (cache disabled), progress lost")
+        super().__init__(
+            f"tuning {kernel} interrupted by {reason} after {done}/{total} "
+            f"trials{hint}")
 
 
 def _fmt_exc(exc: BaseException, limit: int = 200) -> str:
@@ -66,6 +101,7 @@ class TrialResult:
     #: "ok" | "failed" (generation/toolchain/validation) | "crashed"
     #: (signal death in the worker) | "timeout" | "quarantined"
     category: str = "ok"
+    resumed: bool = False  # replayed from a session journal, not re-run
 
 
 @dataclass
@@ -89,7 +125,8 @@ class TuningResult:
             status = (f"{t.gflops:7.2f} GF" if t.gflops >= 0
                       else f"{t.category}: {t.error}")
             marker = " <== best" if t.candidate is self.best else ""
-            cached = " (cached)" if t.cached else ""
+            cached = (" (resumed)" if t.resumed
+                      else " (cached)" if t.cached else "")
             lines.append(
                 f"  {t.candidate.describe():55s} {status}{cached}{marker}")
         counts = self.failure_counts()
@@ -297,6 +334,7 @@ def tune_kernel(kernel: str, arch: Optional[ArchSpec] = None,
                 reuse: bool = True,
                 isolation: Optional[str] = None,
                 trial_timeout: Optional[float] = 30.0,
+                resume: bool = False,
                 verbose: bool = False) -> TuningResult:
     """Exhaustively evaluate the candidate space; return the winner.
 
@@ -311,6 +349,16 @@ def tune_kernel(kernel: str, arch: Optional[ArchSpec] = None,
         when the platform supports it.
     :param trial_timeout: wall-clock seconds one isolated trial may run
         before being killed and quarantined (``None`` or <= 0 disables).
+    :param resume: continue the most recent interrupted/abandoned session
+        for this exact search (kernel, arch, candidate list, batches):
+        journaled trials are replayed verbatim — no generation, assembly,
+        or re-timing — and the search picks up at the first unjournaled
+        candidate.  No matching session simply starts fresh.
+
+    When the persistent cache is enabled, every search records a durable
+    session (:mod:`repro.tuning.session`); a search stopped by SIGINT /
+    SIGTERM / an injected ``interrupt`` fault finishes its in-flight
+    trial, seals the journal, and raises :class:`TuningInterrupted`.
     """
     arch = arch or detect_host()
     aug = Augem(arch=arch)
@@ -322,19 +370,116 @@ def tune_kernel(kernel: str, arch: Optional[ArchSpec] = None,
     if trial_timeout is not None and trial_timeout <= 0:
         trial_timeout = None
 
+    key = sessions.search_key(kernel_key, arch.name, batches,
+                              [c.describe() for c in candidates],
+                              _WORKLOAD_VERSION)
+    sess, replay = _open_session(kernel, kernel_key, layout, arch,
+                                 candidates, batches, key, resume)
+
     with span("tune.kernel", kernel=kernel_key, arch=arch.name,
-              candidates=len(candidates), jobs=jobs,
-              isolation=iso) as tune_span:
-        return _search(aug, kernel, kernel_key, layout, arch, candidates,
-                       batches, jobs, reuse, iso, trial_timeout, verbose,
-                       tune_span)
+              candidates=len(candidates), jobs=jobs, isolation=iso,
+              session=(sess.id if sess is not None else None),
+              replayed=len(replay)) as tune_span:
+        try:
+            result = _search(aug, kernel, kernel_key, layout, arch,
+                             candidates, batches, jobs, reuse, iso,
+                             trial_timeout, verbose, tune_span, sess,
+                             replay)
+        except TuningInterrupted:
+            raise  # the search already sealed the session
+        except BaseException:
+            if sess is not None:
+                sess.finish(sessions.FAILED)
+            raise
+        if sess is not None:
+            sess.finish(sessions.COMPLETE,
+                        best=result.best.describe(),
+                        best_gflops=round(result.best_gflops, 4))
+        return result
+
+
+def _open_session(kernel: str, kernel_key: str, layout: str,
+                  arch: ArchSpec, candidates: List[Candidate],
+                  batches: int, key: str, resume: bool
+                  ) -> Tuple[Optional[sessions.TuningSession],
+                             Dict[int, sessions.TrialRecord]]:
+    """Create (or, for ``resume``, re-open) the durable session.
+
+    Returns the session plus the replay map: candidate index -> journaled
+    trial.  Journal entries whose candidate description no longer matches
+    the index (a changed space) are discarded rather than replayed.
+    """
+    sroot = sessions.sessions_root()
+    if sroot is None:
+        return None, {}
+    replay: Dict[int, sessions.TrialRecord] = {}
+    if resume:
+        prior = sessions.find_resumable(key)
+        if prior is not None:
+            for rec in prior.journal_entries():
+                if (0 <= rec.index < len(candidates)
+                        and candidates[rec.index].describe()
+                        == rec.candidate):
+                    replay[rec.index] = rec
+            prior.adopt()
+            incr("session.trials_replayed", len(replay))
+            progress(f"resuming session {prior.id}: replaying "
+                     f"{len(replay)}/{len(candidates)} journaled trials")
+            return prior, replay
+        progress(f"no resumable session for this {kernel_key} search; "
+                 f"starting fresh")
+    try:
+        sess = sessions.TuningSession.create(
+            sroot, kernel, kernel_key, layout, arch.name, batches,
+            [c.describe() for c in candidates], key)
+    except OSError:
+        return None, {}  # store unusable: search still runs, un-journaled
+    return sess, replay
+
+
+class _StopRequest:
+    """SIGINT/SIGTERM latch: first signal asks for a graceful stop, a
+    second one force-raises ``KeyboardInterrupt`` in the main thread."""
+
+    def __init__(self) -> None:
+        self.reason: Optional[str] = None
+        self._previous: List[Tuple[int, object]] = []
+
+    def _handler(self, signum, frame) -> None:
+        name = signal.Signals(signum).name
+        if self.reason is not None:
+            raise KeyboardInterrupt(f"second {name}; stopping now")
+        self.reason = name
+        progress(f"{name} received: finishing the in-flight trial, then "
+                 f"sealing the session (signal again to stop immediately)")
+
+    def install(self) -> None:
+        # signal handlers are a main-thread privilege; a tuner driven from
+        # a worker thread simply keeps the process's existing handlers
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._previous.append(
+                    (signum, signal.signal(signum, self._handler)))
+            except (ValueError, OSError):
+                pass
+
+    def restore(self) -> None:
+        for signum, previous in self._previous:
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError, TypeError):
+                pass
+        self._previous.clear()
 
 
 def _search(aug: Augem, kernel: str, kernel_key: str, layout: str,
             arch: ArchSpec, candidates: List[Candidate], batches: int,
             jobs: int, reuse: bool, iso: str,
             trial_timeout: Optional[float], verbose: bool,
-            tune_span) -> TuningResult:
+            tune_span, sess: Optional[sessions.TuningSession],
+            replay: Dict[int, sessions.TrialRecord]) -> TuningResult:
     """The body of :func:`tune_kernel` (runs inside its ``tune.kernel``
     span, so a search that dies mid-flight still closes the span)."""
     rng = np.random.default_rng(42)
@@ -342,101 +487,176 @@ def _search(aug: Augem, kernel: str, kernel_key: str, layout: str,
     x = rng.standard_normal(n_vec)
     y = rng.standard_normal(n_vec)
 
-    # phase 1: generate + assemble every candidate (parallel when jobs > 1)
-    with span("tune.prepare", jobs=jobs):
-        if jobs > 1 and len(candidates) > 1:
-            with ThreadPoolExecutor(max_workers=jobs) as pool:
-                prepared = list(pool.map(
-                    lambda ic: _prepare(aug, kernel, kernel_key, arch, ic[1],
-                                        batches, reuse, index=ic[0]),
-                    enumerate(candidates)))
-        else:
-            prepared = [_prepare(aug, kernel, kernel_key, arch, c, batches,
-                                 reuse, index=i)
-                        for i, c in enumerate(candidates)]
-
-    # phase 2: validate (isolated) + time (in-process), serial on this thread
-    cache = get_cache()
-    trials: List[TrialResult] = []
-    best: Optional[Candidate] = None
-    best_gf = -1.0
-
-    def record(trial: TrialResult) -> None:
-        nonlocal best, best_gf
-        trials.append(trial)
-        if trial.gflops > best_gf:
-            best, best_gf = trial.candidate, trial.gflops
-        event("tune.trial", kernel=kernel_key, arch=arch.name,
-              candidate=trial.candidate.describe(),
-              category=trial.category, cached=trial.cached,
-              gflops=(round(trial.gflops, 4) if trial.gflops >= 0
-                      else None),
-              error=trial.error)
-        if verbose:
-            status = (f"{trial.gflops:.2f}" if trial.gflops >= 0
-                      else f"{trial.category}: {trial.error}")
-            progress(f"{trial.candidate.describe()} -> {status}")
-
-    for prep in prepared:
-        cand = prep.candidate
-        if prep.quarantined:
-            record(TrialResult(cand, -1.0, error=prep.error,
-                               category="quarantined"))
-            continue
-        if prep.error is not None:
-            record(TrialResult(cand, -1.0, error=prep.error,
-                               category=prep.category))
-            continue
-        if prep.cached_gflops is not None:
-            record(TrialResult(cand, prep.cached_gflops, cached=True))
-            continue
-
-        tag = prep.generated.name if prep.generated is not None \
-            else cand.describe()
+    stop = _StopRequest()
+    stop.install()
+    try:
         try:
-            validate, make_timed = _trial_closures(kernel, prep.native,
-                                                   layout, rng, n_vec, x, y)
-        except Exception as exc:  # noqa: BLE001 - e.g. unknown kernel family
-            record(TrialResult(cand, -1.0, error=_fmt_exc(exc),
-                               category="failed"))
-            continue
+            prepared = _prepare_all(aug, kernel, kernel_key, arch,
+                                    candidates, batches, jobs, reuse,
+                                    replay)
+            interrupted = None
+        except KeyboardInterrupt as exc:
+            prepared, interrupted = [], (stop.reason or _fmt_exc(exc))
 
-        sres = run_trial(validate, isolation=iso, timeout=trial_timeout,
-                         tag=tag)
-        if not sres.ok:
-            record(TrialResult(cand, -1.0, error=sres.error,
-                               category=sres.category))
-            if sres.category in ("crashed", "timeout") and prep.qkey:
-                cache.store_quarantine(
-                    prep.qkey,
-                    {"kernel": kernel_key, "arch": arch.name,
-                     "candidate": cand.describe(),
-                     "category": sres.category, "error": sres.error})
-            continue
+        # phase 2: validate (isolated) + time (in-process), serial here
+        cache = get_cache()
+        trials: List[TrialResult] = []
+        best: Optional[Candidate] = None
+        best_gf = -1.0
+
+        def record(index: int, trial: TrialResult) -> None:
+            nonlocal best, best_gf
+            trials.append(trial)
+            if trial.gflops > best_gf:
+                best, best_gf = trial.candidate, trial.gflops
+            event("tune.trial", kernel=kernel_key, arch=arch.name,
+                  candidate=trial.candidate.describe(),
+                  category=trial.category, cached=trial.cached,
+                  resumed=trial.resumed,
+                  gflops=(round(trial.gflops, 4) if trial.gflops >= 0
+                          else None),
+                  error=trial.error)
+            if sess is not None and not trial.resumed:
+                sess.record_trial(sessions.TrialRecord(
+                    index=index, candidate=trial.candidate.describe(),
+                    gflops=trial.gflops, category=trial.category,
+                    error=trial.error, cached=trial.cached))
+            if verbose:
+                status = (f"{trial.gflops:.2f}" if trial.gflops >= 0
+                          else f"{trial.category}: {trial.error}")
+                progress(f"{trial.candidate.describe()} -> {status}")
 
         try:
-            timed, flops = make_timed()
-            m = measure(timed, batches=batches)
-            gf = m.gflops(flops)
-            record(TrialResult(cand, gf))
-            if reuse and prep.generated is not None:
-                cache.store_tuning(
-                    _measurement_key(kernel_key, arch, prep.generated,
-                                     batches),
-                    {"kernel": kernel_key, "arch": arch.name,
-                     "candidate": cand.describe(), "gflops": gf,
-                     "best_seconds": m.best, "batches": batches})
-        except Exception as exc:  # noqa: BLE001 - record and move on
-            record(TrialResult(cand, -1.0, error=_fmt_exc(exc),
-                               category="failed"))
+            if interrupted is None:
+                for i, prep in enumerate(prepared):
+                    if stop.reason is not None:
+                        interrupted = stop.reason
+                        break
+                    _run_one_trial(i, prep, candidates, replay, record,
+                                   kernel, kernel_key, layout, arch,
+                                   batches, reuse, iso, trial_timeout,
+                                   cache, rng, n_vec, x, y)
+        except KeyboardInterrupt as exc:
+            interrupted = stop.reason or _fmt_exc(exc)
+    finally:
+        stop.restore()
 
+    done = len(trials)
     tune_span.set(
-        trials=len(trials),
+        trials=done,
         cached=sum(1 for t in trials if t.cached),
+        resumed=sum(1 for t in trials if t.resumed),
         failed=sum(1 for t in trials if t.gflops < 0),
+        interrupted=interrupted,
         best=(best.describe() if best is not None else None),
         best_gflops=(round(best_gf, 4) if best is not None else None))
+    if interrupted is not None:
+        if sess is not None:
+            sess.finish(sessions.INTERRUPTED, interrupted_by=interrupted)
+        incr("session.interrupted")
+        err = TuningInterrupted(kernel, interrupted,
+                                sess.id if sess is not None else None,
+                                done, len(candidates))
+        progress(str(err))
+        raise err
     if best is None:
         raise RuntimeError(f"every candidate failed for kernel {kernel!r}")
     return TuningResult(kernel=kernel, arch=arch, best=best,
                         best_gflops=best_gf, trials=trials)
+
+
+def _prepare_all(aug: Augem, kernel: str, kernel_key: str, arch: ArchSpec,
+                 candidates: List[Candidate], batches: int, jobs: int,
+                 reuse: bool,
+                 replay: Dict[int, sessions.TrialRecord]
+                 ) -> List[Optional[_Prepared]]:
+    """Phase 1: generate + assemble every *unjournaled* candidate.
+
+    Journal-replayed indices get ``None`` placeholders — resumed trials
+    touch neither the generator nor the toolchain.
+    """
+    def prep_one(i: int, cand: Candidate) -> Optional[_Prepared]:
+        if i in replay:
+            return None
+        return _prepare(aug, kernel, kernel_key, arch, cand, batches,
+                        reuse, index=i)
+
+    with span("tune.prepare", jobs=jobs, skipped=len(replay)):
+        if jobs > 1 and len(candidates) - len(replay) > 1:
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                return list(pool.map(lambda ic: prep_one(*ic),
+                                     enumerate(candidates)))
+        return [prep_one(i, c) for i, c in enumerate(candidates)]
+
+
+def _run_one_trial(i: int, prep: Optional[_Prepared],
+                   candidates: List[Candidate],
+                   replay: Dict[int, sessions.TrialRecord],
+                   record, kernel: str, kernel_key: str, layout: str,
+                   arch: ArchSpec, batches: int, reuse: bool, iso: str,
+                   trial_timeout: Optional[float], cache, rng,
+                   n_vec: int, x, y) -> None:
+    """Evaluate (or replay) candidate ``i`` and record its trial."""
+    cand = candidates[i]
+    if i in replay:
+        rec = replay[i]
+        record(i, TrialResult(cand, rec.gflops, error=rec.error,
+                              cached=rec.cached, category=rec.category,
+                              resumed=True))
+        return
+    if take_fault("interrupt",
+                  tag=(prep.generated.name
+                       if prep is not None and prep.generated is not None
+                       else cand.describe()),
+                  index=i):
+        raise KeyboardInterrupt(f"injected interrupt at candidate #{i}")
+    if prep.quarantined:
+        record(i, TrialResult(cand, -1.0, error=prep.error,
+                              category="quarantined"))
+        return
+    if prep.error is not None:
+        record(i, TrialResult(cand, -1.0, error=prep.error,
+                              category=prep.category))
+        return
+    if prep.cached_gflops is not None:
+        record(i, TrialResult(cand, prep.cached_gflops, cached=True))
+        return
+
+    tag = prep.generated.name if prep.generated is not None \
+        else cand.describe()
+    try:
+        validate, make_timed = _trial_closures(kernel, prep.native,
+                                               layout, rng, n_vec, x, y)
+    except Exception as exc:  # noqa: BLE001 - e.g. unknown kernel family
+        record(i, TrialResult(cand, -1.0, error=_fmt_exc(exc),
+                              category="failed"))
+        return
+
+    sres = run_trial(validate, isolation=iso, timeout=trial_timeout,
+                     tag=tag)
+    if not sres.ok:
+        record(i, TrialResult(cand, -1.0, error=sres.error,
+                              category=sres.category))
+        if sres.category in ("crashed", "timeout") and prep.qkey:
+            cache.store_quarantine(
+                prep.qkey,
+                {"kernel": kernel_key, "arch": arch.name,
+                 "candidate": cand.describe(),
+                 "category": sres.category, "error": sres.error})
+        return
+
+    try:
+        timed, flops = make_timed()
+        m = measure(timed, batches=batches)
+        gf = m.gflops(flops)
+        record(i, TrialResult(cand, gf))
+        if reuse and prep.generated is not None:
+            cache.store_tuning(
+                _measurement_key(kernel_key, arch, prep.generated,
+                                 batches),
+                {"kernel": kernel_key, "arch": arch.name,
+                 "candidate": cand.describe(), "gflops": gf,
+                 "best_seconds": m.best, "batches": batches})
+    except Exception as exc:  # noqa: BLE001 - record and move on
+        record(i, TrialResult(cand, -1.0, error=_fmt_exc(exc),
+                              category="failed"))

@@ -1,0 +1,178 @@
+"""Advisory file-lock tests: mutual exclusion, staleness, degradation."""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.backend.locks import (
+    DEFAULT_STALE_AFTER,
+    NULL_LOCK,
+    FileLock,
+    LockTimeout,
+    cache_lock,
+    pid_alive,
+)
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def test_acquire_creates_and_release_removes(tmp_path):
+    lock = FileLock(tmp_path / "a.lock")
+    with lock:
+        assert lock.path.exists()
+        holder = json.loads(lock.path.read_text())
+        assert holder["pid"] == os.getpid()
+        assert "host" in holder and "time" in holder
+    assert not lock.path.exists()
+
+
+def test_second_waiter_times_out_while_held(tmp_path):
+    path = tmp_path / "a.lock"
+    with FileLock(path):
+        waiter = FileLock(path, timeout=0.2)
+        t0 = time.monotonic()
+        with pytest.raises(LockTimeout) as err:
+            waiter.acquire()
+        assert time.monotonic() - t0 >= 0.2
+        assert str(os.getpid()) in str(err.value)
+    # releasing the holder frees the path for the next acquisition
+    with FileLock(path, timeout=0.2):
+        pass
+
+
+def test_release_without_acquire_is_noop(tmp_path):
+    FileLock(tmp_path / "a.lock").release()  # must not raise
+
+
+def test_thread_contention_serializes_read_modify_write(tmp_path):
+    """N threads x M increments through the lock lose no update."""
+    counter = tmp_path / "counter.json"
+    counter.write_text("0")
+    path = tmp_path / "c.lock"
+    threads, iters = 8, 20
+
+    def worker():
+        for _ in range(iters):
+            with FileLock(path, timeout=30.0):
+                value = int(counter.read_text())
+                counter.write_text(str(value + 1))
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    assert int(counter.read_text()) == threads * iters
+    assert not path.exists()
+
+
+_LOCK_CHILD = r"""
+import json, os, sys
+sys.path.insert(0, {src!r})
+from repro.backend.locks import FileLock
+counter, lockpath, iters = sys.argv[1], sys.argv[2], int(sys.argv[3])
+for _ in range(iters):
+    with FileLock(lockpath, timeout=60.0):
+        value = int(open(counter).read())
+        tmp = counter + f".{{os.getpid()}}.tmp"
+        with open(tmp, "w") as fh:
+            fh.write(str(value + 1))
+        os.replace(tmp, counter)
+print("DONE")
+"""
+
+
+def test_multiprocess_contention_loses_no_update(tmp_path):
+    """The acceptance shape: separate *processes* sharing one lock file."""
+    counter = tmp_path / "counter.json"
+    counter.write_text("0")
+    lockpath = tmp_path / "c.lock"
+    procs, iters = 4, 10
+    child = _LOCK_CHILD.format(src=SRC)
+    running = [subprocess.Popen(
+        [sys.executable, "-c", child, str(counter), str(lockpath),
+         str(iters)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        for _ in range(procs)]
+    for proc in running:
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err
+        assert "DONE" in out
+    assert int(counter.read_text()) == procs * iters
+    assert not lockpath.exists()  # no leaked lock
+
+
+def test_dead_pid_lock_is_broken(tmp_path):
+    """A crashed holder on this host must not wedge waiters."""
+    proc = subprocess.run([sys.executable, "-c", "import os;print(os.getpid())"],
+                          capture_output=True, text=True)
+    dead_pid = int(proc.stdout)
+    assert pid_alive(dead_pid) is False
+    path = tmp_path / "stale.lock"
+    import socket
+
+    path.write_text(json.dumps({"pid": dead_pid,
+                                "host": socket.gethostname(),
+                                "time": time.time()}))
+    t0 = time.monotonic()
+    with FileLock(path, timeout=5.0):
+        pass  # acquired by breaking the stale lock, not by waiting it out
+    assert time.monotonic() - t0 < 2.0
+
+
+def test_foreign_host_lock_broken_only_by_age(tmp_path):
+    path = tmp_path / "foreign.lock"
+    fresh = {"pid": 1, "host": "some-other-machine", "time": time.time()}
+    path.write_text(json.dumps(fresh))
+    with pytest.raises(LockTimeout):
+        FileLock(path, timeout=0.2).acquire()  # fresh foreign lock: wait
+    old = dict(fresh, time=time.time() - 2 * DEFAULT_STALE_AFTER)
+    path.write_text(json.dumps(old))
+    with FileLock(path, timeout=5.0):
+        pass  # aged out -> broken
+
+
+def test_unreadable_lock_gets_grace_then_breaks(tmp_path):
+    path = tmp_path / "garbage.lock"
+    path.write_text("not json")
+    # age it past the short unreadable-payload grace window
+    stale = time.time() - 60
+    os.utime(path, (stale, stale))
+    with FileLock(path, timeout=5.0):
+        pass
+
+
+def test_live_alive_pid_lock_respected(tmp_path):
+    """Our own (live) pid in the lock file means a genuine holder."""
+    import socket
+
+    path = tmp_path / "live.lock"
+    path.write_text(json.dumps({"pid": os.getpid(),
+                                "host": socket.gethostname(),
+                                "time": time.time()}))
+    with pytest.raises(LockTimeout):
+        FileLock(path, timeout=0.3).acquire()
+
+
+def test_cache_lock_null_when_disabled():
+    assert cache_lock(None) is NULL_LOCK
+    with NULL_LOCK:
+        pass  # usable as a no-op context manager
+
+
+def test_cache_lock_places_file_under_locks_dir(tmp_path):
+    lock = cache_lock(tmp_path, name="tuning")
+    with lock:
+        assert (tmp_path / "locks" / "tuning.lock").exists()
+
+
+def test_pid_alive_edge_cases():
+    assert pid_alive(os.getpid()) is True
+    assert pid_alive(0) is None
+    assert pid_alive(-5) is None

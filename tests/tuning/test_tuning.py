@@ -327,12 +327,30 @@ def test_wrong_result_fault_fails_validation_not_process(tuning_store,
 
 
 @needs_cc
-def test_isolation_none_matches_fork_winner(tuning_store):
+def test_isolation_none_matches_fork_winner(tuning_store, monkeypatch):
+    # script the timings: the invariant under test is that the isolation
+    # mode does not change the search outcome, not that two wall-clock
+    # measurements of near-identical unrolls agree under load
+    script = []
+
+    class _Scripted:
+        def __init__(self, gf):
+            self._gf = gf
+
+        def gflops(self, flops):
+            return self._gf
+
+    monkeypatch.setattr(
+        "repro.tuning.search.measure",
+        lambda fn, batches=5, **kw: _Scripted(script.pop(0)))
+    script[:] = [1.0, 2.0]
     forked = tune_kernel("axpy", candidates=_AXPY_CANDS[:2], batches=2,
                          isolation="fork", reuse=False)
+    script[:] = [1.0, 2.0]
     inline = tune_kernel("axpy", candidates=_AXPY_CANDS[:2], batches=2,
                          isolation="none", reuse=False)
     assert forked.best is inline.best
+    assert forked.best is _AXPY_CANDS[1]
     assert all(t.category == "ok" for t in forked.trials + inline.trials)
 
 
