@@ -36,6 +36,7 @@ Packages:
 """
 
 from .blas.api import AugemBLAS, default_blas
+from .blas.guard import BlasArgumentError
 from .core.framework import Augem, GeneratedKernel, default_config
 from .isa.arch import (
     ALL_ARCHS,
@@ -57,6 +58,7 @@ __all__ = [
     "default_config",
     "AugemBLAS",
     "default_blas",
+    "BlasArgumentError",
     "OptimizationConfig",
     "ArchSpec",
     "detect_host",

@@ -13,6 +13,8 @@ Usage::
     python -m repro tune sessions resume <session-id>
     python -m repro tune sessions gc --max-age-days 7
     python -m repro cache stats
+    python -m repro dispatch show
+    python -m repro dispatch probe --arch haswell
     python -m repro --trace run.jsonl tune gemm
     python -m repro trace report run.jsonl
     python -m repro bench baseline record
@@ -265,6 +267,37 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_dispatch(args) -> int:
+    from .blas.dispatch import DispatchChain, tier_verdict
+
+    top = get_arch(args.arch) if args.arch else None
+    isolation = None if args.isolation == "auto" else args.isolation
+    chain = DispatchChain(top=top, isolation=isolation)
+
+    if args.action == "probe":
+        for tier in chain.tiers:
+            if not tier.is_reference:
+                chain.verify_tier(tier)
+
+    serving = None
+    for tier in chain.tiers:
+        verdict = tier_verdict(tier)
+        if verdict is None:
+            status = "unprobed"
+        elif verdict[0]:
+            status = "VERIFIED"
+            serving = serving or tier
+        else:
+            status = f"DEMOTED ({verdict[1]})"
+        print(f"{tier.name:<14} {status:<10}  {tier.describe()}")
+    if args.action == "probe":
+        print(f"serving tier: {serving.name if serving else 'reference'}")
+    else:
+        print("(verdicts shown are this process's memoized probes; "
+              "run 'dispatch probe' to execute them)")
+    return 0
+
+
 def cmd_trace(args) -> int:
     from .obs.report import TraceError, report_file
 
@@ -381,6 +414,20 @@ def main(argv=None) -> int:
     c = sub.add_parser("cache", help="inspect or clear the kernel cache")
     c.add_argument("action", choices=["stats", "clear"])
 
+    d = sub.add_parser("dispatch",
+                       help="inspect the hardened runtime's verified "
+                            "capability chain (see docs/robustness.md)")
+    d.add_argument("action", choices=["show", "probe"],
+                   help="'show' prints the chain; 'probe' also executes "
+                        "the sandboxed ISA probe for every native tier")
+    d.add_argument("--arch", choices=sorted(ALL_ARCHS), default=None,
+                   help="pin the top of the chain (default: detected "
+                        "host, honoring $REPRO_FORCE_ARCH)")
+    d.add_argument("--isolation", choices=["auto", "fork", "none"],
+                   default="auto",
+                   help="how probe kernels are executed (auto: fork when "
+                        "the platform supports it)")
+
     tr = sub.add_parser("trace", help="work with recorded JSONL traces")
     tr.add_argument("action", choices=["report"])
     tr.add_argument("file", help="trace file written via --trace/REPRO_TRACE")
@@ -424,6 +471,7 @@ def main(argv=None) -> int:
             "validate": cmd_validate,
             "tune": cmd_tune,
             "cache": cmd_cache,
+            "dispatch": cmd_dispatch,
             "trace": cmd_trace,
             "bench": cmd_bench,
         }[args.command](args)

@@ -1,9 +1,12 @@
 """BLAS routines built on AUGEM-generated kernels (paper §4-§5)."""
 
 from .api import AugemBLAS, default_blas
+from .dispatch import (DispatchChain, KernelRejected, RoutineDispatch, Tier,
+                       capability_chain, default_chain, reset_dispatch_state)
 from .gemm import BlockSizes, GemmDriver, kernel_multiples, make_gemm
 from .gemv import GemvDriver, make_gemv
 from .ger import GerDriver, make_ger
+from .guard import ArgGuard, BlasArgumentError
 from .kernels import KERNEL_SOURCES
 from .level1 import AxpyDriver, DotDriver, ScalDriver, make_axpy, make_dot, make_scal
 from .level3 import Level3
@@ -12,6 +15,15 @@ from . import packing, reference
 __all__ = [
     "AugemBLAS",
     "default_blas",
+    "DispatchChain",
+    "KernelRejected",
+    "RoutineDispatch",
+    "Tier",
+    "capability_chain",
+    "default_chain",
+    "reset_dispatch_state",
+    "ArgGuard",
+    "BlasArgumentError",
     "GemmDriver",
     "BlockSizes",
     "make_gemm",

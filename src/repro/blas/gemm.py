@@ -146,13 +146,18 @@ class GemmDriver:
 
 def make_gemm(arch=None, config=None, strategy: str = "auto",
               layout: str = "dup", blocks: Optional[BlockSizes] = None,
-              schedule: bool = True) -> GemmDriver:
-    """Generate, assemble and wrap a DGEMM for the given (or host) arch."""
+              schedule: bool = True, loader=None) -> GemmDriver:
+    """Generate, assemble and wrap a DGEMM for the given (or host) arch.
+
+    ``loader`` replaces :func:`~repro.backend.runner.load_kernel` — the
+    dispatch layer passes a quarantine-aware, fault-instrumented loader.
+    """
     from ..backend.runner import load_kernel
     from ..core.framework import Augem
 
+    load = loader or load_kernel
     aug = Augem(arch=arch, schedule=schedule)
     kernel_name = "gemm" if layout == "dup" else "gemm_shuf"
     gk = aug.generate_named(kernel_name, config=config, strategy=strategy)
-    native = load_kernel(kernel_name, gk)
+    native = load(kernel_name, gk)
     return GemmDriver(native, layout=layout, blocks=blocks)

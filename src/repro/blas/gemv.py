@@ -86,11 +86,12 @@ class GemvDriver:
 
 
 def make_gemv(arch=None, config=None, config_n=None,
-              schedule: bool = True) -> GemvDriver:
+              schedule: bool = True, loader=None) -> GemvDriver:
     from ..backend.runner import load_kernel
     from ..core.framework import Augem
 
+    load = loader or load_kernel
     aug = Augem(arch=arch, schedule=schedule)
     gk_t = aug.generate_named("gemv", config=config)
     gk_n = aug.generate_named("gemv_n", config=config_n)
-    return GemvDriver(load_kernel("gemv", gk_t), load_kernel("gemv_n", gk_n))
+    return GemvDriver(load("gemv", gk_t), load("gemv_n", gk_n))

@@ -90,28 +90,34 @@ class ScalDriver:
         return x
 
 
-def make_scal(arch=None, config=None, schedule: bool = True) -> ScalDriver:
+def make_scal(arch=None, config=None, schedule: bool = True,
+              loader=None) -> ScalDriver:
     from ..backend.runner import load_kernel
     from ..core.framework import Augem
 
+    load = loader or load_kernel
     aug = Augem(arch=arch, schedule=schedule)
     gk = aug.generate_named("scal", config=config)
-    return ScalDriver(load_kernel("scal", gk))
+    return ScalDriver(load("scal", gk))
 
 
-def make_axpy(arch=None, config=None, schedule: bool = True) -> AxpyDriver:
+def make_axpy(arch=None, config=None, schedule: bool = True,
+              loader=None) -> AxpyDriver:
     from ..backend.runner import load_kernel
     from ..core.framework import Augem
 
+    load = loader or load_kernel
     aug = Augem(arch=arch, schedule=schedule)
     gk = aug.generate_named("axpy", config=config)
-    return AxpyDriver(load_kernel("axpy", gk))
+    return AxpyDriver(load("axpy", gk))
 
 
-def make_dot(arch=None, config=None, schedule: bool = True) -> DotDriver:
+def make_dot(arch=None, config=None, schedule: bool = True,
+              loader=None) -> DotDriver:
     from ..backend.runner import load_kernel
     from ..core.framework import Augem
 
+    load = loader or load_kernel
     aug = Augem(arch=arch, schedule=schedule)
     gk = aug.generate_named("dot", config=config)
-    return DotDriver(load_kernel("dot", gk))
+    return DotDriver(load("dot", gk))

@@ -21,6 +21,7 @@ from typing import Optional
 import numpy as np
 
 from ..backend.baselines import baseline_o2
+from ..backend.compiler import ToolchainError
 from .gemm import GemmDriver
 
 
@@ -30,13 +31,30 @@ def _symmetrize_lower(a: np.ndarray) -> np.ndarray:
     return lower + np.tril(a, -1).T
 
 
+class _NumpyTri:
+    """Pure-numpy triangular diagonal blocks — used when the compiled-C
+    baseline is unavailable (no toolchain, or the dispatch chain is
+    serving from the reference tier)."""
+
+    def trmm_diag(self, l_block: np.ndarray, b_rows: np.ndarray,
+                  ldb: int) -> None:
+        b_rows[:] = np.tril(l_block) @ b_rows
+
+    def trsm_diag(self, l_block: np.ndarray, b_rows: np.ndarray,
+                  ldb: int) -> None:
+        b_rows[:] = np.linalg.solve(np.tril(l_block), b_rows)
+
+
 class Level3:
     """SYMM / SYRK / SYR2K / TRMM / TRSM on top of one GEMM driver."""
 
     def __init__(self, gemm: GemmDriver, diag_block: int = 64) -> None:
         self.gemm = gemm
         self.diag_block = diag_block
-        self._tri = baseline_o2()
+        try:
+            self._tri = baseline_o2()
+        except ToolchainError:
+            self._tri = _NumpyTri()
 
     # -- SYMM ----------------------------------------------------------------
     def symm(self, a: np.ndarray, b: np.ndarray,

@@ -77,6 +77,32 @@ class GeneratedKernel:
         """
         return hashlib.sha256(self.asm_text.encode()).hexdigest()[:24]
 
+    @property
+    def body_hash(self) -> str:
+        """Content address of the kernel *body*, symbol name normalized.
+
+        The tuner and the library facade generate byte-identical code
+        under different exported symbol names (``tune_axpy_…`` vs
+        ``daxpy_kernel``); replacing the name with a placeholder before
+        hashing lets both address the same quarantine record.
+        """
+        body = self.asm_text.replace(self.name, "@SYM@")
+        return hashlib.sha256(body.encode()).hexdigest()[:24]
+
+
+def quarantine_key(kernel_key: str, arch: ArchSpec,
+                   gk: "GeneratedKernel") -> str:
+    """Content address of a known-crashing kernel in the quarantine store.
+
+    Shared by the tuner (which writes entries) and the dispatch layer
+    (which both reads and writes), and keyed by :attr:`body_hash` so a
+    candidate quarantined under its tuning symbol name also blocks the
+    identical code generated under the library's exported name.
+    """
+    return hashlib.sha256(
+        f"quar\x1f{kernel_key}\x1f{arch.name}\x1f{gk.body_hash}".encode()
+    ).hexdigest()[:24]
+
 
 def stable_kernel_name(kernel: str, arch: ArchSpec,
                        config: OptimizationConfig,

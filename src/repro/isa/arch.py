@@ -12,9 +12,10 @@ and Haswell (this container's host, AVX2+FMA3).
 
 from __future__ import annotations
 
+import os
 import re
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -116,13 +117,64 @@ def get_arch(name: str) -> ArchSpec:
         ) from None
 
 
-def detect_host(cpuinfo_path: str = "/proc/cpuinfo") -> ArchSpec:
+#: env var forcing the detected host arch (any ``ALL_ARCHS`` name, or
+#: ``reference`` — which the dispatch layer maps to the pure-numpy tier).
+FORCE_ARCH_ENV = "REPRO_FORCE_ARCH"
+
+#: values of the env var that mean "no override"
+_FORCE_OFF = frozenset({"", "0", "off", "none", "auto"})
+
+_DEFAULT_CPUINFO = "/proc/cpuinfo"
+
+#: per-process memo for the default-path detection only; explicit paths
+#: (tests feeding synthetic cpuinfo files) are always re-read
+_HOST_CACHE: Dict[str, ArchSpec] = {}
+
+
+def forced_arch_name() -> Optional[str]:
+    """Normalized ``$REPRO_FORCE_ARCH`` value, or ``None`` when unset.
+
+    Returns an ``ALL_ARCHS`` name or the literal ``"reference"``; any
+    other value raises with the list of choices.
+    """
+    raw = os.environ.get(FORCE_ARCH_ENV)
+    if raw is None:
+        return None
+    name = raw.strip().lower()
+    if name in _FORCE_OFF:
+        return None
+    if name in ALL_ARCHS or name == "reference":
+        return name
+    raise KeyError(
+        f"${FORCE_ARCH_ENV}={raw!r} is not a modelled architecture; "
+        f"available: {sorted(ALL_ARCHS) + ['reference']}")
+
+
+def reset_host_cache() -> None:
+    """Forget the memoized default-path host detection (tests)."""
+    _HOST_CACHE.clear()
+
+
+def detect_host(cpuinfo_path: str = _DEFAULT_CPUINFO) -> ArchSpec:
     """Pick the best spec the *host* CPU can execute natively.
+
+    ``$REPRO_FORCE_ARCH`` overrides detection entirely (``reference``
+    resolves to GENERIC_SSE here; the dispatch layer additionally pins
+    the whole fallback chain to the pure-numpy tier).  The default-path
+    result is memoized per process — ``/proc/cpuinfo`` cannot change
+    under a running interpreter, and ``AugemBLAS()`` constructs call this
+    eagerly.  Explicit paths are always re-read (tests feed variants).
 
     Falls back to GENERIC_SSE when cpuinfo is unavailable (every x86-64
     CPU has SSE2).  FMA4 is never selected for native execution — Intel
     hosts cannot run it; Piledriver code is validated in the emulator.
     """
+    forced = forced_arch_name()
+    if forced is not None:
+        return GENERIC_SSE if forced == "reference" else ALL_ARCHS[forced]
+    cached = _HOST_CACHE.get(cpuinfo_path) if cpuinfo_path == _DEFAULT_CPUINFO else None
+    if cached is not None:
+        return cached
     try:
         with open(cpuinfo_path) as f:
             text = f.read()
@@ -131,7 +183,11 @@ def detect_host(cpuinfo_path: str = "/proc/cpuinfo") -> ArchSpec:
     flags_match = re.search(r"^flags\s*:\s*(.*)$", text, re.M)
     flags = set(flags_match.group(1).split()) if flags_match else set()
     if "avx2" in flags and "fma" in flags:
-        return HASWELL
-    if "avx" in flags:
-        return SANDYBRIDGE
-    return GENERIC_SSE
+        spec = HASWELL
+    elif "avx" in flags:
+        spec = SANDYBRIDGE
+    else:
+        spec = GENERIC_SSE
+    if cpuinfo_path == _DEFAULT_CPUINFO:
+        _HOST_CACHE[cpuinfo_path] = spec
+    return spec

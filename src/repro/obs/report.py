@@ -8,6 +8,10 @@
 - **per-kernel trial summary** — the tuner's ``tune.trial`` events rolled
   up by kernel: trial counts by category, cache-replay and quarantine
   dispositions, and the best GFLOPS observed;
+- **dispatch** — the hardened-runtime rollup: ISA probe and admission
+  verdicts per tier (``dispatch.probe`` / ``dispatch.admit`` spans) plus
+  the ``dispatch.*`` counters (admissions, demotions, fallback serves,
+  argument-guard coercions/rejections);
 - **counters** — the accumulated cache/toolchain counters.
 """
 
@@ -82,12 +86,25 @@ def render_report(records: List[Dict[str, Any]]) -> str:
     kernels: Dict[str, _KernelAgg] = {}
     counters: Dict[str, float] = {}
     events = 0
+    probes: Dict[str, Dict[str, int]] = {}   # tier -> verdict -> count
+    admits: Dict[str, Dict[str, int]] = {}   # family/tier -> verdict -> n
     for record in records:
         ev = record.get("ev")
         attrs = record.get("attrs", {}) or {}
         if ev == "span":
-            agg = stages.setdefault(record.get("name", "?"), _StageAgg())
+            name = record.get("name", "?")
+            agg = stages.setdefault(name, _StageAgg())
             agg.add(float(record.get("dur", 0.0)))
+            if name == "dispatch.probe":
+                verdicts = probes.setdefault(str(attrs.get("tier", "?")), {})
+                v = str(attrs.get("verdict", "?"))
+                verdicts[v] = verdicts.get(v, 0) + 1
+            elif name == "dispatch.admit":
+                key = (f"{attrs.get('family', '?')}@"
+                       f"{attrs.get('tier', '?')}")
+                verdicts = admits.setdefault(key, {})
+                v = str(attrs.get("verdict", "?"))
+                verdicts[v] = verdicts.get(v, 0) + 1
         elif ev == "event":
             events += 1
             if record.get("name") == "tune.trial":
@@ -132,6 +149,27 @@ def render_report(records: List[Dict[str, Any]]) -> str:
                                 if agg.best_candidate else ""))
     else:
         lines.append("(no tuning trials recorded)")
+
+    dispatch_counters = {n: v for n, v in counters.items()
+                         if n.startswith("dispatch.")}
+    if probes or admits or dispatch_counters:
+        lines.append("")
+        lines.append("-- dispatch --")
+        for tier in sorted(probes):
+            verdicts = " ".join(f"{v}={probes[tier][v]}"
+                                for v in sorted(probes[tier]))
+            lines.append(f"probe {tier}: {verdicts}")
+        for key in sorted(admits):
+            verdicts = " ".join(f"{v}={admits[key][v]}"
+                                for v in sorted(admits[key]))
+            lines.append(f"admit {key}: {verdicts}")
+        if dispatch_counters:
+            shown = []
+            for name in sorted(dispatch_counters):
+                value = dispatch_counters[name]
+                shown.append(f"{name.removeprefix('dispatch.')}="
+                             f"{int(value) if value == int(value) else value}")
+            lines.append("counters: " + " ".join(shown))
 
     if counters:
         lines.append("")

@@ -47,7 +47,8 @@ from ..backend.faults import inject_asm_fault, take_fault
 from ..backend.runner import NativeKernel, load_kernel
 from ..backend.sandbox import resolve_isolation, run_trial
 from ..backend.timer import measure
-from ..core.framework import Augem, GeneratedKernel, stable_kernel_name
+from ..core.framework import (Augem, GeneratedKernel, quarantine_key,
+                              stable_kernel_name)
 from ..isa.arch import ArchSpec, detect_host
 from ..obs import event, incr, progress, span
 from . import session as sessions
@@ -202,15 +203,6 @@ def _measurement_key(kernel_key: str, arch: ArchSpec,
     ).hexdigest()[:24]
 
 
-def _quarantine_key(kernel_key: str, arch: ArchSpec,
-                    gk: GeneratedKernel) -> str:
-    """Content address of a known-crashing candidate (same scheme as the
-    measurement records: keyed by the generated kernel's content hash)."""
-    return hashlib.sha256(
-        f"quar\x1f{kernel_key}\x1f{arch.name}\x1f{gk.content_hash}".encode()
-    ).hexdigest()[:24]
-
-
 def _prepare(aug: Augem, kernel: str, kernel_key: str, arch: ArchSpec,
              cand: Candidate, batches: int, reuse: bool,
              index: Optional[int] = None) -> _Prepared:
@@ -232,7 +224,7 @@ def _prepare(aug: Augem, kernel: str, kernel_key: str, arch: ArchSpec,
         if fault is not None:
             gk = replace(gk, asm_text=inject_asm_fault(fault, gk.asm_text,
                                                        gk.name))
-        qkey = _quarantine_key(kernel_key, arch, gk)
+        qkey = quarantine_key(kernel_key, arch, gk)
         qrec = cache.load_quarantine(qkey)
         if qrec is not None:
             why = qrec.get("error") or "known-crashing candidate"

@@ -118,3 +118,32 @@ def test_cli_records_trace_of_generate(tmp_path, capsys):
                   "pipeline.identify", "pipeline.plan", "pipeline.asmgen"):
         assert stage in names
     assert "pipeline.c_opt" in render_report(records)
+
+
+DISPATCH_SAMPLE = [
+    {"ev": "start", "version": 1},
+    {"ev": "span", "name": "dispatch.probe", "id": 1, "t0": 0.0, "dur": 0.1,
+     "attrs": {"tier": "haswell", "verdict": "crashed", "error": "SIGSEGV"}},
+    {"ev": "span", "name": "dispatch.probe", "id": 2, "t0": 0.2, "dur": 0.1,
+     "attrs": {"tier": "sandybridge", "verdict": "ok"}},
+    {"ev": "span", "name": "dispatch.admit", "id": 3, "t0": 0.4, "dur": 0.1,
+     "attrs": {"family": "gemm", "tier": "sandybridge", "verdict": "ok",
+               "ulp": 1.5}},
+    {"ev": "event", "name": "dispatch.demotion", "t": 0.1,
+     "attrs": {"tier": "haswell", "stage": "probe"}},
+    {"ev": "counter", "name": "dispatch.demotion", "value": 1},
+    {"ev": "counter", "name": "dispatch.admission", "value": 4},
+]
+
+
+def test_render_report_dispatch_section():
+    out = render_report(DISPATCH_SAMPLE)
+    assert "-- dispatch --" in out
+    assert "probe haswell: crashed=1" in out
+    assert "probe sandybridge: ok=1" in out
+    assert "admit gemm@sandybridge: ok=1" in out
+    assert "counters: admission=4 demotion=1" in out
+
+
+def test_render_report_omits_dispatch_section_when_absent():
+    assert "-- dispatch --" not in render_report(SAMPLE)
