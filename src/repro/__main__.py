@@ -13,6 +13,9 @@ Usage::
     python -m repro tune sessions resume <session-id>
     python -m repro tune sessions gc --max-age-days 7
     python -m repro cache stats
+    python -m repro serve start
+    python -m repro serve status
+    python -m repro serve drain
     python -m repro dispatch show
     python -m repro dispatch probe --arch haswell
     python -m repro --trace run.jsonl tune gemm
@@ -256,15 +259,55 @@ def cmd_cache(args) -> int:
               else "cache disabled (REPRO_CACHE_DIR=off); nothing to clear")
         return 0
     # stats
+    from .tuning.session import sessions_inventory
+
     inv = cache.inventory()
     totals = cache.cumulative_stats()
+    sessions = sessions_inventory()
     print(f"cache root:      {inv['root']}")
     print(f"compiled entries: {inv['entries']} ({inv['bytes']} bytes)")
     print(f"tuning records:   {inv['tuning_records']}")
     print(f"quarantined:      {inv['quarantined']}")
-    print(f"sessions:         {inv['sessions']}")
+    print(f"sessions:         {sessions['count']} "
+          f"({sessions['resumable']} resumable, "
+          f"{sessions['journal_bytes']} journal bytes)")
     print(f"cumulative:       {totals.describe()}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    """``serve {start,stop,status,drain,supervise,worker}`` — the
+    BLAS-as-a-service daemon (see docs/robustness.md, Service
+    resilience)."""
+    from .serve import supervisor
+    from .serve.server import ServeConfig, default_runtime_dir, run_worker
+
+    runtime_dir = Path(args.runtime_dir) if args.runtime_dir \
+        else default_runtime_dir()
+    warmup = tuple(w for w in (args.warmup or "gemm").split(",")
+                   if w and w != "none")
+    config = ServeConfig(
+        runtime_dir=runtime_dir,
+        socket_path=Path(args.socket) if args.socket else None,
+        compute_threads=args.threads,
+        queue_capacity=args.queue_capacity,
+        max_inflight_per_client=args.max_inflight,
+        drain_grace=args.drain_grace,
+        warmup=warmup)
+    action = args.serve_action
+    if action == "start":
+        return supervisor.start(config, foreground=args.foreground)
+    if action == "supervise":
+        return supervisor.supervise(config)
+    if action == "worker":
+        return run_worker(config)
+    if action == "stop":
+        return supervisor.stop(config.runtime_dir)
+    if action == "status":
+        return supervisor.status(config)
+    if action == "drain":
+        return supervisor.drain(config)
+    raise SystemExit(f"unknown serve action {action!r}")
 
 
 def cmd_dispatch(args) -> int:
@@ -414,6 +457,41 @@ def main(argv=None) -> int:
     c = sub.add_parser("cache", help="inspect or clear the kernel cache")
     c.add_argument("action", choices=["stats", "clear"])
 
+    s = sub.add_parser("serve",
+                       help="run the resilient BLAS service (supervised "
+                            "daemon; see docs/robustness.md)")
+    s.add_argument("serve_action",
+                   choices=["start", "stop", "status", "drain",
+                            "supervise", "worker"],
+                   help="'start' launches the supervised daemon in the "
+                        "background; 'supervise'/'worker' are the "
+                        "foreground internals; 'drain' finishes in-flight "
+                        "work and exits cleanly")
+    s.add_argument("--runtime-dir", default=None, metavar="DIR",
+                   help="socket/state directory (default: "
+                        "$REPRO_SERVE_DIR, else under the kernel cache)")
+    s.add_argument("--socket", default=None, metavar="PATH",
+                   help="unix socket path (default: <runtime-dir>/"
+                        "serve.sock)")
+    s.add_argument("--threads", type=int, default=2, metavar="N",
+                   help="compute threads in the worker (default 2)")
+    s.add_argument("--queue-capacity", type=int, default=32, metavar="N",
+                   help="bounded admission queue size; beyond it the "
+                        "worker answers 'busy' with retry-after "
+                        "(default 32)")
+    s.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                   help="per-client concurrent request quota (default 8)")
+    s.add_argument("--drain-grace", type=float, default=30.0,
+                   metavar="SEC",
+                   help="max seconds a drain waits for in-flight work "
+                        "(default 30)")
+    s.add_argument("--warmup", default="gemm", metavar="LIST",
+                   help="comma-separated routine families to build before "
+                        "accepting work ('none' to skip; default gemm)")
+    s.add_argument("--foreground", action="store_true",
+                   help="with 'start': run the supervisor in the "
+                        "foreground instead of daemonizing")
+
     d = sub.add_parser("dispatch",
                        help="inspect the hardened runtime's verified "
                             "capability chain (see docs/robustness.md)")
@@ -471,6 +549,7 @@ def main(argv=None) -> int:
             "validate": cmd_validate,
             "tune": cmd_tune,
             "cache": cmd_cache,
+            "serve": cmd_serve,
             "dispatch": cmd_dispatch,
             "trace": cmd_trace,
             "bench": cmd_bench,

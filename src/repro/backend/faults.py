@@ -19,12 +19,22 @@ A plan is a list of specs, each ``kind@match[:count]``:
     ``interrupt`` — raise :class:`KeyboardInterrupt` in the tuning loop
     just before the matching candidate's trial (exercises the durable
     session / crash-resume path in :mod:`repro.tuning.session`)
+    ``serve_crash`` — the serve worker (:mod:`repro.serve.server`) dies
+    with ``os._exit`` mid-request, after admission and before any
+    response (exercises supervisor restart and the client fallback)
+    ``serve_stall`` — the worker sleeps past the request deadline before
+    answering (exercises client timeouts and the degradation chain)
+    ``serve_reject`` — the worker answers the request with a
+    backpressure rejection even though the queue has room (exercises
+    the client's retry-with-backoff path)
 
 ``match``
     ``#N`` fires at candidate index ``N`` (asm- and interrupt-stage
-    faults); any other string fires when it is a substring of the stage
-    tag (the kernel symbol name for asm/interrupt faults, the source tag
-    for toolchain faults).
+    faults) or request index ``N`` (serve-stage faults, counted per
+    worker process); any other string fires when it is a substring of
+    the stage tag (the kernel symbol name for asm/interrupt faults, the
+    source tag for toolchain faults, the routine family for serve
+    faults).
 
 ``count``
     optional; the fault fires at most this many times, then disarms
@@ -49,7 +59,9 @@ ASM_KINDS = frozenset({"segv", "ill", "hang", "wrong"})
 TOOLCHAIN_KINDS = frozenset({"toolchain"})
 #: kinds realized in the tuning loop (simulated operator interrupt)
 INTERRUPT_KINDS = frozenset({"interrupt"})
-ALL_KINDS = ASM_KINDS | TOOLCHAIN_KINDS | INTERRUPT_KINDS
+#: kinds realized in the serve worker (BLAS-as-a-service degradations)
+SERVE_KINDS = frozenset({"serve_crash", "serve_stall", "serve_reject"})
+ALL_KINDS = ASM_KINDS | TOOLCHAIN_KINDS | INTERRUPT_KINDS | SERVE_KINDS
 
 
 class FaultPlanError(ValueError):
@@ -70,6 +82,8 @@ class FaultSpec:
             return "toolchain"
         if self.kind in INTERRUPT_KINDS:
             return "interrupt"
+        if self.kind in SERVE_KINDS:
+            return "serve"
         return "asm"
 
     def matches(self, tag: str, index: Optional[int]) -> bool:

@@ -1,6 +1,7 @@
 """BLAS routines built on AUGEM-generated kernels (paper §4-§5)."""
 
 from .api import AugemBLAS, default_blas
+from .client import CircuitBreaker, ClientStats, ServedBLAS
 from .dispatch import (DispatchChain, KernelRejected, RoutineDispatch, Tier,
                        capability_chain, default_chain, reset_dispatch_state)
 from .gemm import BlockSizes, GemmDriver, kernel_multiples, make_gemm
@@ -15,6 +16,9 @@ from . import packing, reference
 __all__ = [
     "AugemBLAS",
     "default_blas",
+    "ServedBLAS",
+    "ClientStats",
+    "CircuitBreaker",
     "DispatchChain",
     "KernelRejected",
     "RoutineDispatch",

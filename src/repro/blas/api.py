@@ -189,7 +189,8 @@ class AugemBLAS:
         b = g.matrix("dgemm", "b", b)
         if a.shape[1] != b.shape[0]:
             g.reject("dgemm", "b", f"inner dimensions differ: "
-                                   f"A is {a.shape}, B is {b.shape}")
+                                   f"A is {a.shape}, B is {b.shape}",
+                     value=b)
         m, n = a.shape[0], b.shape[1]
         if c is not None:
             c = g.matrix("dgemm", "c", c, shape=(m, n))
@@ -260,11 +261,11 @@ class AugemBLAS:
         beta = g.scalar("dsymm", "beta", beta)
         a = g.matrix("dsymm", "a", a)
         if a.shape[0] != a.shape[1]:
-            g.reject("dsymm", "a", f"must be square, got {a.shape}")
+            g.reject("dsymm", "a", f"must be square, got {a.shape}", value=a)
         b = g.matrix("dsymm", "b", b)
         if b.shape[0] != a.shape[0]:
             g.reject("dsymm", "b", f"row count {b.shape[0]} does not "
-                                   f"match A ({a.shape[0]})")
+                                   f"match A ({a.shape[0]})", value=b)
         n, k = b.shape
         if c is not None:
             c = g.matrix("dsymm", "c", c, shape=(n, k))
@@ -313,11 +314,11 @@ class AugemBLAS:
         alpha = g.scalar("dtrmm", "alpha", alpha)
         l = g.matrix("dtrmm", "l", l)
         if l.shape[0] != l.shape[1]:
-            g.reject("dtrmm", "l", f"must be square, got {l.shape}")
+            g.reject("dtrmm", "l", f"must be square, got {l.shape}", value=l)
         b = g.matrix("dtrmm", "b", b)
         if b.shape[0] != l.shape[0]:
             g.reject("dtrmm", "b", f"row count {b.shape[0]} does not "
-                                   f"match L ({l.shape[0]})")
+                                   f"match L ({l.shape[0]})", value=b)
         if b.shape[0] == 0 or b.shape[1] == 0:
             g.note_zero_dim()
             return np.zeros(b.shape)
@@ -330,11 +331,11 @@ class AugemBLAS:
         alpha = g.scalar("dtrsm", "alpha", alpha)
         l = g.matrix("dtrsm", "l", l)
         if l.shape[0] != l.shape[1]:
-            g.reject("dtrsm", "l", f"must be square, got {l.shape}")
+            g.reject("dtrsm", "l", f"must be square, got {l.shape}", value=l)
         b = g.matrix("dtrsm", "b", b)
         if b.shape[0] != l.shape[0]:
             g.reject("dtrsm", "b", f"row count {b.shape[0]} does not "
-                                   f"match L ({l.shape[0]})")
+                                   f"match L ({l.shape[0]})", value=b)
         if b.shape[0] == 0 or b.shape[1] == 0:
             g.note_zero_dim()
             return np.zeros(b.shape)

@@ -35,8 +35,12 @@ numerically correct answer — degraded, never wrong.
 
 from __future__ import annotations
 
+import json
+import os
+import threading
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -132,15 +136,82 @@ class RoutineDispatch:
 
 # Process-wide memos.  ISA probe verdicts hold for the machine, not one
 # chain instance; admission verdicts are keyed by kernel content so a
-# second AugemBLAS does not re-fork for identical code.
+# second AugemBLAS does not re-fork for identical code.  Both dicts are
+# guarded by one lock: two threads racing the first probe must not fork
+# the sandbox twice (and the winner's verdict must be visible to the
+# loser), so the probe itself executes under the lock.
 _TIER_VERDICTS: Dict[str, Tuple[bool, str]] = {}
 _ADMITTED: Dict[str, float] = {}
+_VERDICT_LOCK = threading.RLock()
+_PROBES_RUN = 0
+
+#: on-disk verdict store schema version (see save/load_tier_verdicts)
+VERDICT_STORE_VERSION = 1
 
 
 def reset_dispatch_state() -> None:
     """Forget memoized probe/admission verdicts (tests)."""
-    _TIER_VERDICTS.clear()
-    _ADMITTED.clear()
+    global _PROBES_RUN
+    with _VERDICT_LOCK:
+        _TIER_VERDICTS.clear()
+        _ADMITTED.clear()
+        _PROBES_RUN = 0
+
+
+def probes_executed() -> int:
+    """How many sandboxed ISA probes this process has actually run."""
+    return _PROBES_RUN
+
+
+def save_tier_verdicts(path: Union[str, Path]) -> int:
+    """Persist this process's probe verdicts for warm restarts.
+
+    The serve worker (:mod:`repro.serve.server`) calls this so a
+    supervisor-restarted worker inherits the machine's probe outcomes
+    from disk instead of re-forking sandboxed probes.  Returns how many
+    verdicts were written; failures degrade silently (the store is an
+    optimization, never a correctness dependency).
+    """
+    with _VERDICT_LOCK:
+        verdicts = {name: list(v) for name, v in _TIER_VERDICTS.items()}
+    if not verdicts:
+        return 0
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps({"version": VERDICT_STORE_VERSION,
+                                   "verdicts": verdicts}, indent=2))
+        os.replace(tmp, path)
+    except OSError:
+        return 0
+    return len(verdicts)
+
+
+def load_tier_verdicts(path: Union[str, Path]) -> int:
+    """Preload persisted probe verdicts (absent entries only).
+
+    Returns how many verdicts were adopted.  A live probe this process
+    already ran always wins over the disk record.
+    """
+    try:
+        record = json.loads(Path(path).read_text())
+        if record.get("version") != VERDICT_STORE_VERSION:
+            return 0
+        verdicts = record["verdicts"]
+    except (OSError, ValueError, KeyError, TypeError):
+        return 0
+    adopted = 0
+    with _VERDICT_LOCK:
+        for name, verdict in verdicts.items():
+            try:
+                ok, detail = bool(verdict[0]), str(verdict[1])
+            except (TypeError, IndexError):
+                continue
+            if name in ALL_ARCHS and name not in _TIER_VERDICTS:
+                _TIER_VERDICTS[name] = (ok, detail)
+                adopted += 1
+    return adopted
 
 
 def tier_verdict(tier: Tier) -> Optional[Tuple[bool, str]]:
@@ -290,14 +361,23 @@ class DispatchChain:
 
     # -- gate 1: ISA probe -------------------------------------------------
     def verify_tier(self, tier: Tier) -> bool:
-        """Whether ``tier`` may serve (memoized probe execution)."""
+        """Whether ``tier`` may serve (memoized probe execution).
+
+        Thread-safe: concurrent first callers serialize on the verdict
+        lock, exactly one executes the sandboxed probe, and the rest
+        observe its memoized verdict.
+        """
         if tier.is_reference:
             return True
         cached = _TIER_VERDICTS.get(tier.arch.name)
         if cached is not None:
             return cached[0]
-        ok, detail = self._probe_tier(tier)
-        _TIER_VERDICTS[tier.arch.name] = (ok, detail)
+        with _VERDICT_LOCK:
+            cached = _TIER_VERDICTS.get(tier.arch.name)
+            if cached is not None:
+                return cached[0]
+            ok, detail = self._probe_tier(tier)
+            _TIER_VERDICTS[tier.arch.name] = (ok, detail)
         if not ok:
             incr("dispatch.demotion")
             event("dispatch.demotion", tier=tier.name, stage="probe",
@@ -306,6 +386,8 @@ class DispatchChain:
 
     def _probe_tier(self, tier: Tier) -> Tuple[bool, str]:
         """Generate, assemble, and *execute* a tiny AXPY for the tier."""
+        global _PROBES_RUN
+        _PROBES_RUN += 1
         with span("dispatch.probe", tier=tier.name) as sp:
             try:
                 aug = Augem(arch=tier.arch)
@@ -357,8 +439,9 @@ class DispatchChain:
         """
         hashes = sorted(k.generated.content_hash for k in kernels)
         memo_key = "\x1f".join([family, tier.name] + hashes)
-        if memo_key in _ADMITTED:
-            return
+        with _VERDICT_LOCK:
+            if memo_key in _ADMITTED:
+                return
         probe = _routine_probe(family, driver)
         with span("dispatch.admit", family=family, tier=tier.name) as sp:
             res = run_trial(probe, isolation=self.isolation,
@@ -368,7 +451,8 @@ class DispatchChain:
                 ulp = float(res.value)
                 if ulp <= self.ulp_bound:
                     sp.set(verdict="ok", ulp=round(ulp, 2))
-                    _ADMITTED[memo_key] = ulp
+                    with _VERDICT_LOCK:
+                        _ADMITTED[memo_key] = ulp
                     incr("dispatch.admission")
                     return
                 verdict = "rejected"

@@ -64,9 +64,25 @@ class ArgGuard:
         self.stats = GuardStats()
 
     # -- outcomes ---------------------------------------------------------
-    def reject(self, routine: str, param: str, message: str) -> None:
+    def reject(self, routine: str, param: str, message: str,
+               value=None) -> None:
+        """Raise :class:`BlasArgumentError`, naming the offending operand's
+        dtype and shape when an array (or array-like) is in hand — the
+        difference between "b: expected shape (4, 4)" and an error the
+        caller can act on without a debugger."""
         self.stats.rejections += 1
         incr("dispatch.guard_rejection")
+        if value is not None:
+            described = value if isinstance(value, np.ndarray) else None
+            if described is None:
+                try:
+                    described = np.asarray(value)
+                except Exception:
+                    described = None
+            if described is not None and described.dtype != object:
+                message = (f"{message} [offending operand: "
+                           f"dtype={described.dtype}, "
+                           f"shape={described.shape}]")
         raise BlasArgumentError(routine, param, message)
 
     def note_zero_dim(self) -> None:
@@ -85,11 +101,12 @@ class ArgGuard:
                         f"non-numeric dtype {arr.dtype}")
         if np.iscomplexobj(arr):
             self.reject(routine, param, "complex input is not supported "
-                                        "(double-precision real BLAS)")
+                                        "(double-precision real BLAS)",
+                        value=arr)
         if arr.ndim != ndim:
             self.reject(routine, param,
                         f"expected a {ndim}-D array, got {arr.ndim}-D "
-                        f"shape {arr.shape}")
+                        f"shape {arr.shape}", value=arr)
         out = np.ascontiguousarray(arr, dtype=np.float64)
         if out is not arr:
             self.stats.coercions += 1
@@ -103,7 +120,8 @@ class ArgGuard:
         arr = self._coerce(routine, param, value, ndim=2)
         if shape is not None and arr.shape != shape:
             self.reject(routine, param,
-                        f"expected shape {shape}, got {arr.shape}")
+                        f"expected shape {shape}, got {arr.shape}",
+                        value=arr)
         return arr
 
     def vector(self, routine: str, param: str, value,
@@ -112,7 +130,8 @@ class ArgGuard:
         arr = self._coerce(routine, param, value, ndim=1)
         if length is not None and arr.shape[0] != length:
             self.reject(routine, param,
-                        f"expected length {length}, got {arr.shape[0]}")
+                        f"expected length {length}, got {arr.shape[0]}",
+                        value=arr)
         return arr
 
     def scalar(self, routine: str, param: str, value) -> float:
@@ -141,15 +160,16 @@ class ArgGuard:
                         f"{type(value).__name__}")
         if value.ndim != ndim:
             self.reject(routine, param,
-                        f"expected a {ndim}-D array, got {value.ndim}-D")
+                        f"expected a {ndim}-D array, got {value.ndim}-D",
+                        value=value)
         if value.dtype != np.float64 or not value.flags.c_contiguous:
             self.reject(routine, param,
                         "updated in place; must be C-contiguous float64 "
                         "(pass np.ascontiguousarray(..., dtype=np.float64) "
-                        "yourself to keep the reference)")
+                        "yourself to keep the reference)", value=value)
         if not value.flags.writeable:
             self.reject(routine, param, "updated in place; array is "
-                                        "read-only")
+                                        "read-only", value=value)
         self._check_finite(routine, param, value)
         return value
 
@@ -158,7 +178,8 @@ class ArgGuard:
         arr = self._inplace(routine, param, value, ndim=1)
         if length is not None and arr.shape[0] != length:
             self.reject(routine, param,
-                        f"expected length {length}, got {arr.shape[0]}")
+                        f"expected length {length}, got {arr.shape[0]}",
+                        value=arr)
         return arr
 
     def inplace_matrix(self, routine: str, param: str, value,
@@ -166,7 +187,8 @@ class ArgGuard:
         arr = self._inplace(routine, param, value, ndim=2)
         if shape is not None and arr.shape != shape:
             self.reject(routine, param,
-                        f"expected shape {shape}, got {arr.shape}")
+                        f"expected shape {shape}, got {arr.shape}",
+                        value=arr)
         return arr
 
     # -- aliasing ---------------------------------------------------------
@@ -185,4 +207,4 @@ class ArgGuard:
         if self.nan_policy == "raise" and arr.size \
                 and not np.all(np.isfinite(arr)):
             self.reject(routine, param,
-                        "contains NaN/Inf (nan_policy='raise')")
+                        "contains NaN/Inf (nan_policy='raise')", value=arr)

@@ -12,6 +12,10 @@
   verdicts per tier (``dispatch.probe`` / ``dispatch.admit`` spans) plus
   the ``dispatch.*`` counters (admissions, demotions, fallback serves,
   argument-guard coercions/rejections);
+- **serve** — the BLAS service rollup: ``serve.request`` spans grouped
+  by routine and outcome, the peak admission-queue depth observed, and
+  the ``serve.*`` / ``client.*`` counters (requests, rejections, drains,
+  client fallbacks);
 - **counters** — the accumulated cache/toolchain counters.
 """
 
@@ -88,6 +92,8 @@ def render_report(records: List[Dict[str, Any]]) -> str:
     events = 0
     probes: Dict[str, Dict[str, int]] = {}   # tier -> verdict -> count
     admits: Dict[str, Dict[str, int]] = {}   # family/tier -> verdict -> n
+    serve_reqs: Dict[str, Dict[str, int]] = {}  # routine -> status -> n
+    serve_queue_peak = -1
     for record in records:
         ev = record.get("ev")
         attrs = record.get("attrs", {}) or {}
@@ -105,6 +111,14 @@ def render_report(records: List[Dict[str, Any]]) -> str:
                 verdicts = admits.setdefault(key, {})
                 v = str(attrs.get("verdict", "?"))
                 verdicts[v] = verdicts.get(v, 0) + 1
+            elif name == "serve.request":
+                statuses = serve_reqs.setdefault(
+                    str(attrs.get("routine", "?")), {})
+                s = str(attrs.get("status", "?"))
+                statuses[s] = statuses.get(s, 0) + 1
+                depth = attrs.get("queue_depth")
+                if isinstance(depth, (int, float)):
+                    serve_queue_peak = max(serve_queue_peak, int(depth))
         elif ev == "event":
             events += 1
             if record.get("name") == "tune.trial":
@@ -168,6 +182,25 @@ def render_report(records: List[Dict[str, Any]]) -> str:
             for name in sorted(dispatch_counters):
                 value = dispatch_counters[name]
                 shown.append(f"{name.removeprefix('dispatch.')}="
+                             f"{int(value) if value == int(value) else value}")
+            lines.append("counters: " + " ".join(shown))
+
+    serve_counters = {n: v for n, v in counters.items()
+                      if n.startswith(("serve.", "client."))}
+    if serve_reqs or serve_counters:
+        lines.append("")
+        lines.append("-- serve --")
+        for routine in sorted(serve_reqs):
+            statuses = " ".join(f"{s}={serve_reqs[routine][s]}"
+                                for s in sorted(serve_reqs[routine]))
+            lines.append(f"request {routine}: {statuses}")
+        if serve_queue_peak >= 0:
+            lines.append(f"queue depth peak: {serve_queue_peak}")
+        if serve_counters:
+            shown = []
+            for name in sorted(serve_counters):
+                value = serve_counters[name]
+                shown.append(f"{name}="
                              f"{int(value) if value == int(value) else value}")
             lines.append("counters: " + " ".join(shown))
 

@@ -323,6 +323,21 @@ def list_sessions(root: Optional[Path] = None) -> List[TuningSession]:
     return sessions
 
 
+def sessions_inventory(root: Optional[Path] = None) -> dict:
+    """Summary for ``cache stats``: how many sessions exist, how many
+    could be resumed, and how much journal data they hold on disk."""
+    inventory = {"count": 0, "resumable": 0, "journal_bytes": 0}
+    for session in list_sessions(root):
+        inventory["count"] += 1
+        if session.is_resumable():
+            inventory["resumable"] += 1
+        try:
+            inventory["journal_bytes"] += session.journal_path.stat().st_size
+        except OSError:
+            pass
+    return inventory
+
+
 def get_session(session_id: str,
                 root: Optional[Path] = None) -> Optional[TuningSession]:
     sroot = sessions_root(root)

@@ -93,6 +93,84 @@ def test_reference_tier_verdict_is_always_ok():
     assert ok
 
 
+# -- verdict memoization under concurrency ----------------------------------
+
+def test_probe_verdict_memoized_under_concurrent_threads(monkeypatch):
+    """Threads racing the first ``verify_tier`` run the sandboxed probe
+    exactly once; everyone observes the winner's memoized verdict."""
+    import threading
+
+    calls = []
+    release = threading.Event()
+
+    def fake_probe(self, tier):
+        calls.append(tier.arch.name)
+        # hold the verdict lock long enough that every racer is queued
+        # behind it before the verdict lands
+        release.wait(timeout=5.0)
+        return True, "ok"
+
+    monkeypatch.setattr(DispatchChain, "_probe_tier", fake_probe)
+    chain = DispatchChain(top=GENERIC_SSE)
+    tier = chain.tiers[0]
+    assert not tier.is_reference
+
+    n = 8
+    gate = threading.Barrier(n)
+    results = [None] * n
+
+    def racer(i):
+        gate.wait(timeout=5.0)
+        if i == 0:
+            # let the pack pile onto the lock, then let the probe finish
+            threading.Timer(0.05, release.set).start()
+        results[i] = chain.verify_tier(tier)
+
+    threads = [threading.Thread(target=racer, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10.0)
+    assert not any(t.is_alive() for t in threads), "verify_tier deadlocked"
+
+    assert calls == ["generic_sse"], "probe must execute exactly once"
+    assert results == [True] * n
+    ok, detail = tier_verdict(tier)
+    assert ok and detail == "ok"
+    # later callers hit the memo without touching the probe path
+    assert chain.verify_tier(tier)
+    assert len(calls) == 1
+
+
+def test_concurrent_probes_of_distinct_tiers_each_run_once(monkeypatch):
+    import threading
+
+    calls = []
+
+    def fake_probe(self, tier):
+        calls.append(tier.arch.name)
+        return True, "ok"
+
+    monkeypatch.setattr(DispatchChain, "_probe_tier", fake_probe)
+    chain = DispatchChain(top=SANDYBRIDGE)
+    native = [t for t in chain.tiers if not t.is_reference]
+    assert len(native) >= 2
+
+    n = 12
+    gate = threading.Barrier(n)
+
+    def racer(i):
+        gate.wait(timeout=5.0)
+        assert chain.verify_tier(native[i % len(native)])
+
+    threads = [threading.Thread(target=racer, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10.0)
+    assert sorted(calls) == sorted(t.arch.name for t in native)
+
+
 # -- ulp_error --------------------------------------------------------------
 
 def test_ulp_error_basics():

@@ -147,3 +147,34 @@ def test_render_report_dispatch_section():
 
 def test_render_report_omits_dispatch_section_when_absent():
     assert "-- dispatch --" not in render_report(SAMPLE)
+
+
+SERVE_SAMPLE = [
+    {"ev": "start", "version": 1},
+    {"ev": "span", "name": "serve.request", "id": 1, "t0": 0.0, "dur": 0.02,
+     "attrs": {"routine": "gemm", "client": "h:1", "index": 0,
+               "queue_depth": 3, "status": "ok"}},
+    {"ev": "span", "name": "serve.request", "id": 2, "t0": 0.1, "dur": 0.01,
+     "attrs": {"routine": "gemm", "client": "h:1", "index": 1,
+               "queue_depth": 1, "status": "deadline"}},
+    {"ev": "span", "name": "serve.request", "id": 3, "t0": 0.2, "dur": 0.01,
+     "attrs": {"routine": "dot", "client": "h:2", "index": 2,
+               "queue_depth": 0, "status": "ok"}},
+    {"ev": "counter", "name": "serve.request", "value": 3},
+    {"ev": "counter", "name": "serve.drain", "value": 1},
+    {"ev": "counter", "name": "client.fallback", "value": 2},
+]
+
+
+def test_render_report_serve_section():
+    out = render_report(SERVE_SAMPLE)
+    assert "-- serve --" in out
+    assert "request gemm: deadline=1 ok=1" in out
+    assert "request dot: ok=1" in out
+    assert "queue depth peak: 3" in out
+    assert "client.fallback=2" in out
+    assert "serve.drain=1" in out
+
+
+def test_render_report_omits_serve_section_when_absent():
+    assert "-- serve --" not in render_report(SAMPLE)

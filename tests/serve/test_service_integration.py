@@ -1,0 +1,242 @@
+"""End-to-end service resilience: real supervisor + worker processes.
+
+These are the acceptance scenarios from the service arc:
+
+- **kill-the-daemon**: with ``serve_crash`` injected mid-request, the
+  client's ``dgemm`` still returns the correct product (in-process
+  fallback), the supervisor restarts the worker against the warm
+  on-disk cache *without re-running ISA probes*, and the next call is
+  served by the daemon again;
+- **graceful drain**: SIGTERM to the supervisor finishes all in-flight
+  requests, seals the accounting ledger, and the whole tree exits 0.
+
+Socket paths are capped near 107 bytes, so runtime dirs live in a short
+``/tmp`` prefix rather than pytest's deep ``tmp_path``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.blas.reference import ref_gemm
+from tests.conftest import HAVE_CC
+
+pytestmark = pytest.mark.integration
+
+
+#: a native tier exercises the probe-verdict warm cache; without a
+#: toolchain the reference tier still proves crash/restart/drain
+SERVICE_ARCH = "generic_sse" if HAVE_CC else "reference"
+
+
+@pytest.fixture
+def service_dirs():
+    base = Path(tempfile.mkdtemp(prefix="rsi", dir="/tmp"))
+    (base / "rt").mkdir()
+    (base / "cache").mkdir()
+    yield base / "rt", base / "cache"
+    shutil.rmtree(base, ignore_errors=True)
+
+
+def _service_env(runtime_dir: Path, cache_dir: Path, **extra: str) -> dict:
+    env = dict(os.environ)
+    env.update({
+        "REPRO_SERVE_DIR": str(runtime_dir),
+        "REPRO_CACHE_DIR": str(cache_dir),
+        "REPRO_FORCE_ARCH": SERVICE_ARCH,
+        "PYTHONPATH": str(Path(__file__).resolve().parents[2] / "src"),
+    })
+    env.pop("REPRO_FAULT_INJECT", None)
+    env.pop("REPRO_TRACE", None)
+    env.update(extra)
+    return env
+
+
+def _serve_cli(env: dict, *args: str, timeout: float = 180.0):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "serve", *args],
+        env=env, capture_output=True, text=True, timeout=timeout)
+
+
+def _client(runtime_dir: Path, **kwargs):
+    from repro.blas.client import ServedBLAS
+
+    kwargs.setdefault("hardened", False)
+    return ServedBLAS(runtime_dir=runtime_dir, **kwargs)
+
+
+def _stop_service(env: dict) -> None:
+    try:
+        _serve_cli(env, "stop", timeout=60)
+    except subprocess.TimeoutExpired:
+        pass
+
+
+class TestKillTheDaemon:
+    def test_crash_falls_back_then_warm_restart(self, service_dirs,
+                                                monkeypatch):
+        runtime_dir, cache_dir = service_dirs
+        # worker request #1 dies mid-request with os._exit
+        env = _service_env(runtime_dir, cache_dir,
+                           REPRO_FAULT_INJECT="serve_crash@#1")
+        monkeypatch.setenv("REPRO_FORCE_ARCH", SERVICE_ARCH)
+        started = _serve_cli(env, "start", "--warmup", "gemm")
+        assert started.returncode == 0, started.stderr
+        try:
+            from repro.serve.supervisor import read_state, rpc, wait_ready
+
+            blas = _client(runtime_dir, retries=1, breaker_cooldown=0.5)
+            rng = np.random.default_rng(21)
+            a = rng.standard_normal((16, 9))
+            b = rng.standard_normal((9, 11))
+            expect = ref_gemm(a, b)
+
+            # request #0: served by the daemon
+            assert np.allclose(blas.dgemm(a, b), expect)
+            assert blas.stats.remote_ok == 1
+
+            # request #1: the worker dies mid-request -> correct result
+            # anyway, via the in-process fallback
+            assert np.allclose(blas.dgemm(a, b), expect)
+            assert blas.stats.fallbacks == 1
+
+            # the supervisor restarts the worker against the warm cache
+            status = None
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                state = read_state(runtime_dir)
+                if state and state.get("restarts", 0) >= 1 \
+                        and wait_ready(blas.socket_path, timeout=1.0):
+                    status = rpc(blas.socket_path, {"op": "status", "v": 1})
+                    if status and status.get("ok"):
+                        break
+                time.sleep(0.1)
+            assert status and status["ok"], "worker never restarted"
+            worker_status = status["status"]
+            # the restart must NOT re-run sandboxed ISA probes: verdicts
+            # were persisted by the first worker and preloaded
+            assert worker_status["probes_run"] == 0
+            if HAVE_CC:
+                assert worker_status["verdicts_preloaded"] >= 1
+
+            # service is live again: the very next call is served
+            # remotely (request #0 of the new worker — its own injected
+            # plan re-arms at #1, so only issue one)
+            assert np.allclose(blas.dgemm(a, b), expect)
+            assert blas.stats.remote_ok == 2
+        finally:
+            _stop_service(env)
+
+    def test_restart_budget_gives_up(self, service_dirs):
+        runtime_dir, cache_dir = service_dirs
+        # every request crashes the worker; the supervisor must not
+        # thrash forever — but staying alive between crashes is fine
+        env = _service_env(runtime_dir, cache_dir,
+                           REPRO_FAULT_INJECT="serve_crash@#0")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "supervise",
+             "--warmup", "none"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        try:
+            from repro.serve.supervisor import wait_ready
+
+            socket_path = runtime_dir / "serve.sock"
+            assert wait_ready(socket_path, timeout=60)
+            blas = _client(runtime_dir, retries=0, breaker_threshold=100)
+            rng = np.random.default_rng(22)
+            x = rng.standard_normal(8)
+            deadline = time.monotonic() + 120
+            while proc.poll() is None and time.monotonic() < deadline:
+                blas.ddot(x, x)  # each served request kills the worker
+                time.sleep(0.05)
+            assert proc.poll() is not None, "supervisor never gave up"
+            assert proc.returncode == 1
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+
+class TestGracefulDrain:
+    def test_sigterm_finishes_inflight_and_exits_zero(self, service_dirs):
+        runtime_dir, cache_dir = service_dirs
+        env = _service_env(runtime_dir, cache_dir)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "supervise",
+             "--warmup", "gemm"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        try:
+            from repro.serve.supervisor import wait_ready
+
+            socket_path = runtime_dir / "serve.sock"
+            assert wait_ready(socket_path, timeout=120)
+
+            rng = np.random.default_rng(23)
+            a = rng.standard_normal((48, 32))
+            b = rng.standard_normal((32, 40))
+            expect = ref_gemm(a, b)
+            results, errors = [], []
+
+            def caller():
+                blas = _client(runtime_dir, retries=1)
+                try:
+                    for _ in range(6):
+                        results.append(blas.dgemm(a, b))
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=caller) for _ in range(3)]
+            for t in threads:
+                t.start()
+            time.sleep(0.3)  # let requests be in flight
+            proc.send_signal(signal.SIGTERM)
+            for t in threads:
+                t.join(timeout=120)
+            rc = proc.wait(timeout=120)
+
+            assert rc == 0, "drain must exit 0"
+            assert not errors, f"client raised during drain: {errors}"
+            assert len(results) == 18
+            for got in results:
+                assert np.allclose(got, expect)
+            ledger = json.loads(
+                (runtime_dir / "accounting.json").read_text())
+            assert ledger["sealed_at"] is not None
+            totals = ledger["totals"]
+            # everything admitted was settled — nothing left in flight
+            assert totals["inflight"] == 0
+            assert totals["admitted"] == (totals["completed"]
+                                          + totals["failed"]
+                                          + totals["deadline_expired"])
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_drain_cli_roundtrip(self, service_dirs):
+        runtime_dir, cache_dir = service_dirs
+        env = _service_env(runtime_dir, cache_dir)
+        started = _serve_cli(env, "start", "--warmup", "none")
+        assert started.returncode == 0, started.stderr
+        status = _serve_cli(env, "status")
+        assert status.returncode == 0
+        assert "accepting" in status.stdout
+        drained = _serve_cli(env, "drain")
+        assert drained.returncode == 0, drained.stderr
+        assert "drained" in drained.stdout
+        # after the drain the service reports down
+        status = _serve_cli(env, "status")
+        assert status.returncode == 2
+        assert "unreachable" in status.stdout

@@ -122,6 +122,34 @@ def test_dispatch_show_lists_chain(capsys):
     assert "unprobed" in out  # 'show' must not execute probes
 
 
+def test_serve_status_reports_down_without_daemon(capsys, tmp_path,
+                                                  monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_DIR", str(tmp_path / "rt"))
+    assert main(["serve", "status"]) == 2
+    out = capsys.readouterr().out
+    assert "unreachable" in out
+    assert str(tmp_path / "rt") in out
+
+
+def test_serve_stop_without_daemon(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_DIR", str(tmp_path / "rt"))
+    assert main(["serve", "stop"]) == 2
+    assert "not running" in capsys.readouterr().out
+
+
+def test_serve_smoke_real_invocation(tmp_path):
+    """CI smoke check: `serve status` against a dead runtime dir exits 2
+    without tracebacks; the full lifecycle lives in tests/serve."""
+    env = dict(os.environ, REPRO_SERVE_DIR=str(tmp_path / "rt"),
+               REPRO_CACHE_DIR="off",
+               PYTHONPATH=str(Path(__file__).resolve().parents[1] / "src"))
+    proc = subprocess.run([sys.executable, "-m", "repro", "serve", "status"],
+                          capture_output=True, text=True, env=env)
+    assert proc.returncode == 2, proc.stderr
+    assert "unreachable" in proc.stdout
+    assert "Traceback" not in proc.stderr
+
+
 def test_dispatch_probe_reports_serving_tier(capsys):
     from repro.blas.dispatch import reset_dispatch_state
 

@@ -158,13 +158,18 @@ def test_timed_axpy_uses_scratch_not_shared_y(tuning_store, monkeypatch):
     from repro.backend.timer import measure as real_measure
 
     captured = []
+    held = []  # keep the arrays alive so a freed scratch buffer cannot
+               # be reallocated at the same address (id reuse would make
+               # the per-candidate sets spuriously intersect)
 
     def spy_measure(fn, batches=5, **kw):
         # snapshot at call time: the closure cells are shared across loop
         # iterations, so inspecting later would see the last binding
-        captured.append({id(c.cell_contents) for c in fn.__closure__ or ()
-                         if isinstance(c.cell_contents, np.ndarray)
-                         and c.cell_contents.size == 1 << 16})
+        arrays = [c.cell_contents for c in fn.__closure__ or ()
+                  if isinstance(c.cell_contents, np.ndarray)
+                  and c.cell_contents.size == 1 << 16]
+        held.extend(arrays)
+        captured.append({id(a) for a in arrays})
         return real_measure(fn, batches=1, calls_per_batch=1)
 
     monkeypatch.setattr("repro.tuning.search.measure", spy_measure)
