@@ -22,6 +22,8 @@ Usage::
     python -m repro trace report run.jsonl
     python -m repro bench baseline record
     python -m repro bench baseline check --threshold 0.15
+    python -m repro bench baseline record --threads 4 --path results/b4.json
+    python -m repro serve start --gemm-threads 4
 
 ``generate`` writes (or prints) a complete GAS kernel; ``validate``
 parses an emitted ``.S`` file back and checks it against the numpy
@@ -290,6 +292,7 @@ def cmd_serve(args) -> int:
         runtime_dir=runtime_dir,
         socket_path=Path(args.socket) if args.socket else None,
         compute_threads=args.threads,
+        gemm_threads=args.gemm_threads,
         queue_capacity=args.queue_capacity,
         max_inflight_per_client=args.max_inflight,
         drain_grace=args.drain_grace,
@@ -363,13 +366,18 @@ def cmd_bench(args) -> int:
     try:
         if args.action == "record":
             record = baseline.record_baseline(
-                path=args.path, kernels=args.kernels, batches=args.batches)
+                path=args.path, kernels=args.kernels, batches=args.batches,
+                threads=args.gemm_threads)
             for kernel, entry in record["kernels"].items():
                 print(f"{kernel:<8} {entry['gflops']:>10.2f} GFLOPS")
-            print(f"recorded baseline for {record['arch']} -> {args.path}")
+            axis = (f" (threads={record['threads']})"
+                    if "threads" in record else "")
+            print(f"recorded baseline for {record['arch']}{axis} "
+                  f"-> {args.path}")
             return 0
         rows = baseline.check_baseline(
-            path=args.path, batches=args.batches, threshold=args.threshold)
+            path=args.path, batches=args.batches, threshold=args.threshold,
+            threads=args.gemm_threads)
         print(baseline.render_check(rows, args.threshold))
         return (baseline.EXIT_REGRESSION
                 if any(r.regressed for r in rows) else 0)
@@ -475,6 +483,9 @@ def main(argv=None) -> int:
                         "serve.sock)")
     s.add_argument("--threads", type=int, default=2, metavar="N",
                    help="compute threads in the worker (default 2)")
+    s.add_argument("--gemm-threads", type=int, default=None, metavar="N",
+                   help="threads per GEMM call inside the worker "
+                        "(default: $REPRO_THREADS, else 1)")
     s.add_argument("--queue-capacity", type=int, default=32, metavar="N",
                    help="bounded admission queue size; beyond it the "
                         "worker answers 'busy' with retry-after "
@@ -527,6 +538,12 @@ def main(argv=None) -> int:
     b.add_argument("--threshold", type=float, default=None, metavar="FRAC",
                    help="tolerated fractional GFLOPS loss before check "
                         "fails (default 0.15)")
+    b.add_argument("--threads", type=int, default=None, metavar="N",
+                   dest="gemm_threads",
+                   help="record/check gemm through the full parallel "
+                        "driver at this thread count (a baseline axis: "
+                        "check must match the recording; default: the "
+                        "historical micro-kernel workload)")
 
     args = parser.parse_args(argv)
     if args.trace:

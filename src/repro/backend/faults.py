@@ -28,13 +28,20 @@ A plan is a list of specs, each ``kind@match[:count]``:
     backpressure rejection even though the queue has room (exercises
     the client's retry-with-backoff path)
 
+    ``worker_die`` — a GEMM worker thread raises
+    :class:`InjectedWorkerFault` just before computing the matching
+    macro-tile (exercises the parallel driver's whole-call failure
+    path: no partial C writes reach the caller, packing buffers return
+    to the pool)
+
 ``match``
     ``#N`` fires at candidate index ``N`` (asm- and interrupt-stage
-    faults) or request index ``N`` (serve-stage faults, counted per
-    worker process); any other string fires when it is a substring of
-    the stage tag (the kernel symbol name for asm/interrupt faults, the
-    source tag for toolchain faults, the routine family for serve
-    faults).
+    faults), request index ``N`` (serve-stage faults, counted per
+    worker process), or macro-tile index ``N`` (thread-stage faults,
+    counted per GEMM call); any other string fires when it is a
+    substring of the stage tag (the kernel symbol name for asm/
+    interrupt faults, the source tag for toolchain faults, the routine
+    family for serve faults, ``gemm``/``gemm_shuf`` for thread faults).
 
 ``count``
     optional; the fault fires at most this many times, then disarms
@@ -61,11 +68,18 @@ TOOLCHAIN_KINDS = frozenset({"toolchain"})
 INTERRUPT_KINDS = frozenset({"interrupt"})
 #: kinds realized in the serve worker (BLAS-as-a-service degradations)
 SERVE_KINDS = frozenset({"serve_crash", "serve_stall", "serve_reject"})
-ALL_KINDS = ASM_KINDS | TOOLCHAIN_KINDS | INTERRUPT_KINDS | SERVE_KINDS
+#: kinds realized inside a GEMM worker thread (parallel-driver failures)
+THREAD_KINDS = frozenset({"worker_die"})
+ALL_KINDS = (ASM_KINDS | TOOLCHAIN_KINDS | INTERRUPT_KINDS | SERVE_KINDS
+             | THREAD_KINDS)
 
 
 class FaultPlanError(ValueError):
     """A malformed ``REPRO_FAULT_INJECT`` / plan spec."""
+
+
+class InjectedWorkerFault(RuntimeError):
+    """The planned ``worker_die`` failure raised inside a GEMM worker."""
 
 
 @dataclass
@@ -84,6 +98,8 @@ class FaultSpec:
             return "interrupt"
         if self.kind in SERVE_KINDS:
             return "serve"
+        if self.kind in THREAD_KINDS:
+            return "thread"
         return "asm"
 
     def matches(self, tag: str, index: Optional[int]) -> bool:

@@ -4,13 +4,16 @@ from .api import AugemBLAS, default_blas
 from .client import CircuitBreaker, ClientStats, ServedBLAS
 from .dispatch import (DispatchChain, KernelRejected, RoutineDispatch, Tier,
                        capability_chain, default_chain, reset_dispatch_state)
-from .gemm import BlockSizes, GemmDriver, kernel_multiples, make_gemm
+from .gemm import (BlockSizes, GemmDriver, kernel_multiples, make_gemm,
+                   split_for_threads)
 from .gemv import GemvDriver, make_gemv
 from .ger import GerDriver, make_ger
 from .guard import ArgGuard, BlasArgumentError
 from .kernels import KERNEL_SOURCES
 from .level1 import AxpyDriver, DotDriver, ScalDriver, make_axpy, make_dot, make_scal
 from .level3 import Level3
+from .threading import (PackBufferPool, PoolAliasError, WorkerPool, get_pool,
+                        reset_pools, resolve_threads)
 from . import packing, reference
 
 __all__ = [
@@ -32,6 +35,13 @@ __all__ = [
     "BlockSizes",
     "make_gemm",
     "kernel_multiples",
+    "split_for_threads",
+    "PackBufferPool",
+    "PoolAliasError",
+    "WorkerPool",
+    "get_pool",
+    "reset_pools",
+    "resolve_threads",
     "GemvDriver",
     "make_gemv",
     "AxpyDriver",

@@ -57,12 +57,14 @@ class AugemBLAS:
                  schedule: bool = True,
                  hardened: bool = True,
                  nan_policy: str = "propagate",
-                 isolation: Optional[str] = None) -> None:
+                 isolation: Optional[str] = None,
+                 threads: Optional[int] = None) -> None:
         self.arch = arch or detect_host()
         self.configs = configs or {}
         self.layout = layout
         self.blocks = blocks
         self.schedule = schedule
+        self.threads = threads
         self.guard = ArgGuard(nan_policy=nan_policy)
         self.chain: Optional[DispatchChain] = (
             DispatchChain(top=arch, isolation=isolation) if hardened
@@ -106,11 +108,12 @@ class AugemBLAS:
                 builder=lambda tier, loader: make_gemm(
                     arch=tier.arch, config=self.configs.get("gemm"),
                     layout=self.layout, blocks=self.blocks,
-                    schedule=self.schedule, loader=loader),
+                    schedule=self.schedule, loader=loader,
+                    threads=self.threads),
                 direct=lambda: make_gemm(
                     arch=self.arch, config=self.configs.get("gemm"),
                     layout=self.layout, blocks=self.blocks,
-                    schedule=self.schedule))
+                    schedule=self.schedule, threads=self.threads))
         return self._gemm
 
     @property

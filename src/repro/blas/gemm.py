@@ -4,28 +4,50 @@ block-partitioned algorithm originally developed by Goto").
 
 The driver:
 
-1. partitions C into Mc x Nc tiles, K into Kc slices (Kc = 256 in the
-   paper's evaluation);
-2. packs the A block (alpha folded in) and the B panel into the layouts
-   the generated kernel expects;
-3. calls the remainder-free micro-kernel on a zero-padded column-major C
-   workspace, then adds the result into the caller's matrix.
+1. partitions C into Mc x Nc macro-tiles and K into Kc slices (Kc = 256
+   in the paper's evaluation), shrinking Mc/Nc when needed so there are
+   at least as many tiles as compute threads;
+2. packs the A block (alpha folded in during the pack — no scaled copy
+   is ever materialized) and the B panel into the layouts the generated
+   kernel expects, all through a reusable
+   :class:`~repro.blas.threading.PackBufferPool`;
+3. runs the remainder-free micro-kernel over every macro-tile — on one
+   thread, or partitioned across the persistent
+   :class:`~repro.blas.threading.WorkerPool` (BLIS-style jc/ic loop
+   parallelism; the ctypes kernel call releases the GIL) — then adds
+   each finished tile into the result workspace.
+
+Parallel execution is **bit-identical** to single-threaded execution at
+any thread count: each (jc, ic) macro-tile is owned by exactly one task,
+its kc-slices run sequentially inside that task, every C element is
+accumulated in strictly ascending k order by the kernel, and tiles land
+in disjoint regions of the workspace — so no floating-point operation
+ever reorders, whatever the scheduling.  B panels are packed once per
+(jc, kc) slice by the first task to need them and shared read-only;
+A-block packing is per-task into pooled buffers.
 
 ``alpha`` scales the packed A block; ``beta`` pre-scales C — the kernel
-itself computes pure ``C += A*B`` exactly as in paper Fig. 12.
+itself computes pure ``C += A*B`` exactly as in paper Fig. 12.  The
+thread count comes from the constructor, a per-call override, or
+``$REPRO_THREADS`` (see :func:`~repro.blas.threading.resolve_threads`).
 """
 
 from __future__ import annotations
 
-import math
+import threading as _threading
 from dataclasses import dataclass
-from typing import Optional
+from functools import partial
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..backend.faults import InjectedWorkerFault, take_fault
 from ..backend.runner import GemmKernel
 from ..core.framework import GeneratedKernel
+from ..obs import event, incr, span
+from ..obs import trace as _trace
 from .packing import pack_a, pack_b_dup, pack_b_shuf
+from .threading import PackBufferPool, get_pool, resolve_threads
 
 
 def kernel_multiples(generated: GeneratedKernel) -> tuple:
@@ -60,21 +82,64 @@ class BlockSizes:
     nc: int = 512
 
 
+def split_for_threads(m: int, n: int, mc: int, nc: int, mu: int, nu: int,
+                      threads: int) -> Tuple[int, int]:
+    """Shrink (mc, nc) until the (jc, ic) grid has >= ``threads`` tiles.
+
+    Halves the larger blocking dimension first (keeping every size a
+    multiple of the kernel's mu/nu), and stops at (mu, nu) — a problem
+    smaller than the thread count simply runs on fewer tiles.
+    """
+
+    def ntiles(mc_: int, nc_: int) -> int:
+        return -(-m // mc_) * -(-n // nc_)
+
+    while ntiles(mc, nc) < threads:
+        if nc > nu and (nc >= mc or mc <= mu):
+            nc = max(nu, _round_up(nc // 2, nu))
+        elif mc > mu:
+            mc = max(mu, _round_up(mc // 2, mu))
+        else:
+            break
+    return mc, nc
+
+
+class _PanelSlot:
+    """Once-per-(jc, kc) B panel: first claimant packs, the rest wait."""
+
+    __slots__ = ("event", "buf", "error")
+
+    def __init__(self) -> None:
+        self.event = _threading.Event()
+        self.buf: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+
+
 class GemmDriver:
-    """Reusable DGEMM entry point around one loaded micro-kernel."""
+    """Reusable DGEMM entry point around one loaded micro-kernel.
+
+    One driver instance is safe to call from many threads concurrently:
+    the packing-buffer pool is lock-protected, worker pools are shared
+    process-wide, and every call works on private tile buffers.
+    """
 
     def __init__(self, kernel: GemmKernel, layout: str = "dup",
-                 blocks: Optional[BlockSizes] = None) -> None:
+                 blocks: Optional[BlockSizes] = None,
+                 threads: Optional[int] = None,
+                 pack_pool: Optional[PackBufferPool] = None) -> None:
         if layout not in ("dup", "shuf"):
             raise ValueError("layout must be 'dup' or 'shuf'")
         self.kernel = kernel
         self.layout = layout
         self.blocks = blocks or BlockSizes()
+        self.threads = resolve_threads(threads)
+        self.pack_pool = pack_pool or PackBufferPool()
         self.mu, self.nu, self.ku = kernel_multiples(kernel.generated)
 
     def __call__(self, a: np.ndarray, b: np.ndarray,
                  c: Optional[np.ndarray] = None,
-                 alpha: float = 1.0, beta: float = 0.0) -> np.ndarray:
+                 alpha: float = 1.0, beta: float = 0.0,
+                 threads: Optional[int] = None) -> np.ndarray:
         """``C = alpha * A @ B + beta * C`` for row-major 2-D float64 arrays."""
         a = np.asarray(a, dtype=np.float64)
         b = np.asarray(b, dtype=np.float64)
@@ -94,63 +159,165 @@ class GemmDriver:
         if alpha == 0.0 or k == 0:
             return out if out is not None else np.zeros((m, n))
 
+        nthreads = self.threads if threads is None \
+            else resolve_threads(threads)
         bs = self.blocks
         mc = max(_round_up(min(bs.mc, m), self.mu), self.mu)
         nc = max(_round_up(min(bs.nc, n), self.nu), self.nu)
         kc = max(_round_up(min(bs.kc, k), self.ku), self.ku)
+        if nthreads > 1:
+            mc, nc = split_for_threads(m, n, mc, nc, self.mu, self.nu,
+                                       nthreads)
 
         # exact-size column-major workspace: index (i, j) at j*m + i.
-        # Interior tiles are written directly by the kernel; only edge tiles
-        # (where a trip count needs padding) go through a small scratch.
+        # Every macro-tile computes into a private pooled scratch and is
+        # added into its disjoint workspace slice — parallel tasks never
+        # share a written byte, and the sum order per element is fixed.
         work = np.zeros(m * n)
         work_rows = work.reshape(n, m)  # [j, i]
 
-        pack_b = pack_b_dup if self.layout == "dup" else pack_b_shuf
+        tiles = []
         for j0 in range(0, n, nc):
             jn = min(nc, n - j0)
-            jn_pad = _round_up(jn, self.nu)
-            b_cache = {}
             for i0 in range(0, m, mc):
                 im = min(mc, m - i0)
-                im_pad = _round_up(im, self.mu)
-                edge = (im_pad != im) or (jn_pad != jn)
-                if edge:
-                    tile = np.zeros(im_pad * jn_pad)
-                    target, ldc = tile, im_pad
-                else:
-                    target, ldc = work[j0 * m + i0:], m
-                for l0 in range(0, k, kc):
-                    ln = min(kc, k - l0)
-                    ln_pad = _round_up(ln, self.ku)
-                    b_panel = b_cache.get(l0)
-                    if b_panel is None:
-                        b_panel = pack_b(b[l0:l0 + ln, j0:j0 + jn],
-                                         ln_pad, jn_pad)
-                        b_cache[l0] = b_panel
-                    a_block = a[i0:i0 + im, l0:l0 + ln]
-                    if alpha != 1.0:
-                        a_block = a_block * alpha
-                    a_panel = pack_a(a_block, im_pad, ln_pad)
-                    self.kernel(im_pad, jn_pad, ln_pad,
-                                a_panel, b_panel, target, ldc)
-                if edge:
-                    work_rows[j0:j0 + jn, i0:i0 + im] += (
-                        tile.reshape(jn_pad, im_pad)[:jn, :im]
-                    )
+                tiles.append((j0, jn, _round_up(jn, self.nu),
+                              i0, im, _round_up(im, self.mu)))
+        if tiles:
+            self._run_tiles(tiles, a, b, work_rows, alpha, k, kc,
+                            min(nthreads, len(tiles)))
+
         result = work_rows.T  # (m, n) view, F-contiguous
         if out is None:
             return result
         out += result
         return out
 
+    # -- tile execution ----------------------------------------------------
+
+    def _run_tiles(self, tiles, a, b, work_rows, alpha, k, kc,
+                   nthreads) -> None:
+        pool = self.pack_pool
+        pack_b = pack_b_dup if self.layout == "dup" else pack_b_shuf
+        family = "gemm" if self.layout == "dup" else "gemm_shuf"
+        panels: Dict[Tuple[int, int], _PanelSlot] = {}
+        panel_lock = _threading.Lock()
+        # tiles remaining per j-column: when a column drains, its B
+        # panels go back to the pool instead of living to call end
+        j_remaining: Dict[int, int] = {}
+        for tile in tiles:
+            j_remaining[tile[0]] = j_remaining.get(tile[0], 0) + 1
+
+        def retire_column(j0: int) -> None:
+            to_release = []
+            with panel_lock:
+                j_remaining[j0] -= 1
+                if j_remaining[j0] == 0:
+                    for (pj, _pl), slot in panels.items():
+                        if pj == j0 and slot.buf is not None:
+                            to_release.append(slot.buf)
+                            slot.buf = None
+            for buf in to_release:
+                pool.release(buf)
+
+        def ensure_panel(j0: int, jn: int, jn_pad: int, l0: int, ln: int,
+                         ln_pad: int) -> np.ndarray:
+            """The shared read-only B panel for (j0, l0); packed once."""
+            key = (j0, l0)
+            with panel_lock:
+                slot = panels.get(key)
+                owner = slot is None
+                if owner:
+                    slot = panels[key] = _PanelSlot()
+            if owner:
+                try:
+                    buf = pool.acquire(ln_pad * jn_pad)
+                    try:
+                        pack_b(b[l0:l0 + ln, j0:j0 + jn], ln_pad, jn_pad,
+                               out=buf)
+                    except BaseException:
+                        pool.release(buf)
+                        raise
+                    slot.buf = buf
+                except BaseException as exc:  # noqa: BLE001 - rethrown
+                    slot.error = exc
+                    raise
+                finally:
+                    slot.event.set()
+            else:
+                slot.event.wait()
+                if slot.error is not None:
+                    raise RuntimeError(
+                        f"B panel ({j0}, {l0}) packing failed: "
+                        f"{slot.error}") from slot.error
+            return slot.buf
+
+        def run_tile(index: int, j0: int, jn: int, jn_pad: int, i0: int,
+                     im: int, im_pad: int) -> None:
+            if take_fault("thread", tag=family, index=index) == "worker_die":
+                raise InjectedWorkerFault(
+                    f"injected worker_die at {family} tile #{index}")
+            c_buf = pool.acquire(im_pad * jn_pad)
+            try:
+                c_buf[:] = 0.0
+                for l0 in range(0, k, kc):
+                    ln = min(kc, k - l0)
+                    ln_pad = _round_up(ln, self.ku)
+                    b_panel = ensure_panel(j0, jn, jn_pad, l0, ln, ln_pad)
+                    a_buf = pool.acquire(im_pad * ln_pad)
+                    try:
+                        pack_a(a[i0:i0 + im, l0:l0 + ln], im_pad, ln_pad,
+                               out=a_buf, alpha=alpha)
+                        self.kernel(im_pad, jn_pad, ln_pad,
+                                    a_buf, b_panel, c_buf, im_pad)
+                    finally:
+                        pool.release(a_buf)
+                # disjoint slice per tile: concurrent adds never overlap
+                work_rows[j0:j0 + jn, i0:i0 + im] += (
+                    c_buf.reshape(jn_pad, im_pad)[:jn, :im])
+            finally:
+                pool.release(c_buf)
+            retire_column(j0)
+
+        tasks = [partial(run_tile, idx, *tile)
+                 for idx, tile in enumerate(tiles)]
+        try:
+            if nthreads > 1:
+                with span("gemm.parallel", layout=self.layout,
+                          threads=nthreads, tiles=len(tiles), k=k) as sp:
+                    busy = get_pool(nthreads).run(tasks)
+                    if _trace.enabled():
+                        sp.set(busy_s=round(sum(busy.values()), 6))
+                        incr("gemm.parallel.calls")
+                        incr("gemm.parallel.tasks", len(tiles))
+                        incr("gemm.parallel.worker_busy",
+                             sum(busy.values()))
+                        for worker, seconds in sorted(busy.items()):
+                            event("gemm.parallel.worker", worker=worker,
+                                  busy_s=round(seconds, 6))
+            else:
+                for task in tasks:
+                    task()
+        finally:
+            # failure path: columns that never drained still hold panels
+            with panel_lock:
+                leftover = [slot for slot in panels.values()
+                            if slot.buf is not None]
+                for slot in leftover:
+                    buf, slot.buf = slot.buf, None
+                    pool.release(buf)
+
 
 def make_gemm(arch=None, config=None, strategy: str = "auto",
               layout: str = "dup", blocks: Optional[BlockSizes] = None,
-              schedule: bool = True, loader=None) -> GemmDriver:
+              schedule: bool = True, loader=None,
+              threads: Optional[int] = None) -> GemmDriver:
     """Generate, assemble and wrap a DGEMM for the given (or host) arch.
 
     ``loader`` replaces :func:`~repro.backend.runner.load_kernel` — the
     dispatch layer passes a quarantine-aware, fault-instrumented loader.
+    ``threads`` pins the driver's thread count (default:
+    ``$REPRO_THREADS``, else 1).
     """
     from ..backend.runner import load_kernel
     from ..core.framework import Augem
@@ -160,4 +327,4 @@ def make_gemm(arch=None, config=None, strategy: str = "auto",
     kernel_name = "gemm" if layout == "dup" else "gemm_shuf"
     gk = aug.generate_named(kernel_name, config=config, strategy=strategy)
     native = load(kernel_name, gk)
-    return GemmDriver(native, layout=layout, blocks=blocks)
+    return GemmDriver(native, layout=layout, blocks=blocks, threads=threads)

@@ -85,15 +85,42 @@ def _workload(kernel: str, native, rng,
     raise KeyError(f"no baseline workload for kernel {kernel!r}")
 
 
+def _gemm_threaded_workload(native, rng,
+                            threads: int) -> Tuple[Callable[[], None], float]:
+    """A full GemmDriver workload (packing + macro loops + N threads).
+
+    Used only when a ``threads`` axis is requested: unlike the raw
+    micro-kernel workload above, it exercises the whole parallel GEBP
+    path, so 1-vs-N recordings measure actual end-to-end scaling.
+    """
+    from ..blas.gemm import GemmDriver
+
+    driver = GemmDriver(native, threads=threads)
+    m = n = k = 256
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    return (lambda: driver(a, b)), 2.0 * m * n * k
+
+
 def measure_kernel(kernel: str, arch: Optional[ArchSpec] = None,
-                   batches: int = 5) -> float:
-    """Best-batch GFLOPS of the default-config kernel for one family."""
+                   batches: int = 5,
+                   threads: Optional[int] = None) -> float:
+    """Best-batch GFLOPS of the default-config kernel for one family.
+
+    ``threads`` (gemm only) switches from the raw micro-kernel workload
+    to the driver-level workload run at that thread count; ``None``
+    keeps the historical micro-kernel measurement.
+    """
     arch = arch or detect_host()
-    with obs.span("baseline.measure", kernel=kernel, arch=arch.name) as sp:
+    with obs.span("baseline.measure", kernel=kernel, arch=arch.name,
+                  threads=threads) as sp:
         gk = Augem(arch=arch).generate_named(kernel)
         native = load_kernel(kernel, gk)
         rng = np.random.default_rng(7)
-        timed, flops = _workload(kernel, native, rng, gk=gk)
+        if kernel == "gemm" and threads is not None:
+            timed, flops = _gemm_threaded_workload(native, rng, threads)
+        else:
+            timed, flops = _workload(kernel, native, rng, gk=gk)
         m = measure(timed, batches=batches)
         gflops = m.gflops(flops)
         sp.set(gflops=round(gflops, 4))
@@ -101,19 +128,24 @@ def measure_kernel(kernel: str, arch: Optional[ArchSpec] = None,
 
 
 def measure_suite(kernels=DEFAULT_KERNELS, arch: Optional[ArchSpec] = None,
-                  batches: int = 5) -> Dict[str, float]:
+                  batches: int = 5,
+                  threads: Optional[int] = None) -> Dict[str, float]:
     arch = arch or detect_host()
-    with obs.span("baseline.suite", arch=arch.name, batches=batches):
-        return {k: measure_kernel(k, arch=arch, batches=batches)
+    with obs.span("baseline.suite", arch=arch.name, batches=batches,
+                  threads=threads):
+        return {k: measure_kernel(k, arch=arch, batches=batches,
+                                  threads=threads)
                 for k in kernels}
 
 
 def record_baseline(path: Path = DEFAULT_PATH, kernels=DEFAULT_KERNELS,
                     arch: Optional[ArchSpec] = None,
-                    batches: int = 5) -> Dict:
+                    batches: int = 5,
+                    threads: Optional[int] = None) -> Dict:
     """Measure every kernel and write the baseline file atomically."""
     arch = arch or detect_host()
-    gflops = measure_suite(kernels, arch=arch, batches=batches)
+    gflops = measure_suite(kernels, arch=arch, batches=batches,
+                           threads=threads)
     record = {
         "version": BASELINE_VERSION,
         "workload_version": WORKLOAD_VERSION,
@@ -122,6 +154,8 @@ def record_baseline(path: Path = DEFAULT_PATH, kernels=DEFAULT_KERNELS,
         "recorded_unix_time": time.time(),
         "kernels": {k: {"gflops": round(v, 4)} for k, v in gflops.items()},
     }
+    if threads is not None:
+        record["threads"] = threads
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     # pid-suffixed tempname: two concurrent recorders must never write
@@ -172,12 +206,15 @@ class CheckRow:
 
 def check_baseline(path: Path = DEFAULT_PATH,
                    arch: Optional[ArchSpec] = None, batches: int = 5,
-                   threshold: float = DEFAULT_THRESHOLD) -> List[CheckRow]:
+                   threshold: float = DEFAULT_THRESHOLD,
+                   threads: Optional[int] = None) -> List[CheckRow]:
     """Re-measure the recorded kernels and compare against the baseline.
 
     A kernel present in the baseline but more than ``threshold`` slower
     now is flagged ``regressed``; a kernel missing from the baseline is
-    reported un-flagged (record again to start tracking it).
+    reported un-flagged (record again to start tracking it).  The
+    ``threads`` axis must match the recording — a 4-thread check against
+    a single-thread baseline would compare different workloads.
     """
     record = load_baseline(path)
     arch = arch or detect_host()
@@ -185,15 +222,22 @@ def check_baseline(path: Path = DEFAULT_PATH,
         raise BaselineError(
             f"baseline {path} was recorded on arch {record.get('arch')!r}, "
             f"checking on {arch.name!r}; re-record it")
+    if record.get("threads") != threads:
+        raise BaselineError(
+            f"baseline {path} was recorded with threads="
+            f"{record.get('threads')!r}, checking with threads="
+            f"{threads!r}; re-record it (or pass the matching --threads)")
     kernels = list(record.get("kernels", {}))
     rows: List[CheckRow] = []
     for kernel in kernels:
         base = record["kernels"][kernel].get("gflops")
-        now = measure_kernel(kernel, arch=arch, batches=batches)
+        now = measure_kernel(kernel, arch=arch, batches=batches,
+                             threads=threads)
         regressed = bool(base) and now < base * (1.0 - threshold)
         rows.append(CheckRow(kernel, base, now, regressed))
         obs.event("baseline.check", kernel=kernel, baseline=base,
-                  current=round(now, 4), regressed=regressed)
+                  current=round(now, 4), regressed=regressed,
+                  threads=threads)
     return rows
 
 

@@ -86,6 +86,7 @@ class ServeConfig:
     runtime_dir: Path = field(default_factory=default_runtime_dir)
     socket_path: Optional[Path] = None
     compute_threads: int = 2
+    gemm_threads: Optional[int] = None  # per-call GEMM parallelism
     queue_capacity: int = 32
     max_inflight_per_client: int = DEFAULT_MAX_INFLIGHT_PER_CLIENT
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES
@@ -166,7 +167,8 @@ class ServeWorker:
         if self._blas is None:
             with self._state_lock:
                 if self._blas is None:
-                    self._blas = AugemBLAS()
+                    self._blas = AugemBLAS(
+                        threads=self.config.gemm_threads)
         return self._blas
 
     def _driver_for(self, routine: str):
@@ -562,6 +564,7 @@ class ServeWorker:
             "verdicts_preloaded": self.verdicts_preloaded,
             "routines": routines,
             "calls": self._call_index,
+            "gemm_threads": self.config.gemm_threads,
         }
 
 

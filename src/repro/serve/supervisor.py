@@ -143,7 +143,7 @@ _TRACE_OFF_VALUES = {"", "0", "off", "none", "false", "disabled"}
 
 
 def _worker_argv(config: ServeConfig) -> List[str]:
-    return [
+    argv = [
         sys.executable, "-m", "repro", "serve", "worker",
         "--runtime-dir", str(config.runtime_dir),
         "--socket", str(config.socket_path),
@@ -153,6 +153,9 @@ def _worker_argv(config: ServeConfig) -> List[str]:
         "--drain-grace", str(config.drain_grace),
         "--warmup", ",".join(config.warmup) or "none",
     ]
+    if config.gemm_threads is not None:
+        argv += ["--gemm-threads", str(config.gemm_threads)]
+    return argv
 
 
 def supervise(config: ServeConfig) -> int:
@@ -257,6 +260,8 @@ def start(config: ServeConfig, foreground: bool = False) -> int:
             "--max-inflight", str(config.max_inflight_per_client),
             "--drain-grace", str(config.drain_grace),
             "--warmup", ",".join(config.warmup) or "none"]
+    if config.gemm_threads is not None:
+        argv += ["--gemm-threads", str(config.gemm_threads)]
     with open(log_path, "ab") as log:
         proc = subprocess.Popen(argv, stdout=log, stderr=log,
                                 start_new_session=True,

@@ -63,6 +63,43 @@ def test_non_contiguous_input_accepted():
     assert np.array_equal(unpack_a(packed, 3, 4), view)
 
 
+def test_pack_a_alpha_folded():
+    block = np.arange(6.0).reshape(2, 3)
+    assert np.array_equal(pack_a(block, 2, 3, alpha=2.5),
+                          2.5 * pack_a(block, 2, 3))
+    # alpha scales only the data; padding stays exactly zero
+    padded = pack_a(block, 4, 5, alpha=-3.0)
+    assert np.array_equal(unpack_a(padded, 4, 5)[:2, :3], -3.0 * block)
+    assert padded.sum() == -3.0 * block.sum()
+
+
+def test_pack_into_dirty_buffer_rezeroes_padding():
+    block = np.arange(4.0).reshape(2, 2) + 1.0
+    for packer, (r, c) in ((pack_a, (4, 3)), (pack_b_dup, (4, 3)),
+                           (pack_b_shuf, (4, 3))):
+        dirty = np.full(12, 7.7)
+        fresh = packer(block, r, c)
+        reused = packer(block, r, c, out=dirty)
+        assert reused is dirty  # in place, no allocation
+        assert np.array_equal(reused, fresh)
+
+
+def test_pack_a_out_and_alpha_combine():
+    rng = np.random.default_rng(3)
+    block = rng.standard_normal((3, 5))
+    dirty = rng.standard_normal(6 * 4)  # (mc=4) x (kc=6) panel, dirty
+    got = pack_a(block, 4, 6, out=dirty, alpha=1.25)
+    assert np.array_equal(got, pack_a(block, 4, 6, alpha=1.25))
+
+
+def test_pack_out_buffer_validated():
+    block = np.ones((2, 2))
+    with pytest.raises(ValueError):
+        pack_a(block, 4, 3, out=np.zeros(11))  # wrong element count
+    with pytest.raises(ValueError):
+        pack_b_dup(block, 4, 3, out=np.zeros(12, dtype=np.float32))
+
+
 @st.composite
 def block_and_panel(draw):
     rows = draw(st.integers(1, 6))

@@ -123,3 +123,48 @@ def test_check_rejects_other_arch(tmp_path, capsys):
     rc = main(["bench", "baseline", "check", "--path", str(path)])
     assert rc == 2
     assert "re-record" in capsys.readouterr().err
+
+
+# -- the threads axis --------------------------------------------------------
+
+
+@needs_cc
+def test_record_with_threads_stamps_axis_and_checks(tmp_path, capsys):
+    path = tmp_path / "b2.json"
+    rc = main(["bench", "baseline", "record", "--path", str(path),
+               "--kernels", "gemm", "--batches", "1", "--threads", "2"])
+    assert rc == 0
+    record = json.loads(path.read_text())
+    assert record["threads"] == 2
+    assert record["kernels"]["gemm"]["gflops"] > 0
+    assert "threads=2" in capsys.readouterr().out
+
+    # a matching-threads check runs; generous threshold — only the
+    # plumbing is under test, not the CI box's noise floor
+    rc = main(["bench", "baseline", "check", "--path", str(path),
+               "--batches", "1", "--threshold", "0.95", "--threads", "2"])
+    assert rc == 0
+
+
+@needs_cc
+def test_check_rejects_thread_axis_mismatch(tmp_path, capsys):
+    path = tmp_path / "b1.json"
+    assert main(["bench", "baseline", "record", "--path", str(path),
+                 "--kernels", "axpy", "--batches", "1"]) == 0
+    rc = main(["bench", "baseline", "check", "--path", str(path),
+               "--threads", "4"])
+    assert rc == 2
+    assert "threads" in capsys.readouterr().err
+
+
+def test_check_threads_mismatch_synthetic(tmp_path):
+    # no toolchain needed: the axis is validated before any measurement
+    from repro.isa.arch import detect_host
+
+    path = tmp_path / "b4.json"
+    path.write_text(json.dumps({
+        "version": 1, "workload_version": WORKLOAD_VERSION,
+        "arch": detect_host().name, "threads": 4,
+        "kernels": {"gemm": {"gflops": 1.0}}}))
+    with pytest.raises(BaselineError, match="threads=4"):
+        baseline.check_baseline(path=path, threads=1)

@@ -169,6 +169,97 @@ class TestKillTheDaemon:
                 proc.wait()
 
 
+class TestThreadedWorker:
+    """A worker running GEMM at threads>1 must be indistinguishable —
+    identical results, and drain semantics unchanged."""
+
+    def test_threaded_worker_matches_in_process(self, service_dirs,
+                                                monkeypatch):
+        runtime_dir, cache_dir = service_dirs
+        env = _service_env(runtime_dir, cache_dir)
+        monkeypatch.setenv("REPRO_FORCE_ARCH", SERVICE_ARCH)
+        started = _serve_cli(env, "start", "--warmup", "gemm",
+                             "--gemm-threads", "2")
+        assert started.returncode == 0, started.stderr
+        try:
+            from repro.serve.supervisor import rpc
+
+            blas = _client(runtime_dir, retries=1)
+            status = rpc(blas.socket_path, {"op": "status", "v": 1})
+            assert status and status["ok"]
+            assert status["status"]["gemm_threads"] == 2
+
+            rng = np.random.default_rng(31)
+            a = rng.standard_normal((37, 19))
+            b = rng.standard_normal((19, 23))
+            c = rng.standard_normal((37, 23))
+            got = blas.dgemm(a, b, c, alpha=1.25, beta=0.5)
+            assert blas.stats.remote_ok == 1, "must be served remotely"
+            if HAVE_CC:
+                # same generated kernel, and the parallel driver is
+                # bit-identical to single-threaded: byte-for-byte equal
+                from repro.blas.api import AugemBLAS
+
+                local = AugemBLAS(hardened=False, threads=1)
+                expect = local.dgemm(a, b, c, alpha=1.25, beta=0.5)
+                assert np.asarray(got).tobytes() == \
+                    np.asarray(expect).tobytes()
+            else:
+                assert np.allclose(got, ref_gemm(a, b, c, 1.25, 0.5))
+        finally:
+            _stop_service(env)
+
+    def test_sigterm_drains_inflight_threaded_gemms(self, service_dirs):
+        runtime_dir, cache_dir = service_dirs
+        env = _service_env(runtime_dir, cache_dir)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "supervise",
+             "--warmup", "gemm", "--gemm-threads", "2"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        try:
+            from repro.serve.supervisor import wait_ready
+
+            socket_path = runtime_dir / "serve.sock"
+            assert wait_ready(socket_path, timeout=120)
+
+            rng = np.random.default_rng(32)
+            a = rng.standard_normal((64, 48))
+            b = rng.standard_normal((48, 56))
+            expect = ref_gemm(a, b)
+            results, errors = [], []
+
+            def caller():
+                blas = _client(runtime_dir, retries=1)
+                try:
+                    for _ in range(4):
+                        results.append(blas.dgemm(a, b))
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=caller) for _ in range(3)]
+            for t in threads:
+                t.start()
+            time.sleep(0.3)  # let threaded gemms be in flight
+            proc.send_signal(signal.SIGTERM)
+            for t in threads:
+                t.join(timeout=120)
+            rc = proc.wait(timeout=120)
+
+            assert rc == 0, "drain must exit 0"
+            assert not errors, f"client raised during drain: {errors}"
+            assert len(results) == 12
+            for got in results:
+                assert np.allclose(got, expect)
+            ledger = json.loads(
+                (runtime_dir / "accounting.json").read_text())
+            assert ledger["sealed_at"] is not None
+            assert ledger["totals"]["inflight"] == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+
 class TestGracefulDrain:
     def test_sigterm_finishes_inflight_and_exits_zero(self, service_dirs):
         runtime_dir, cache_dir = service_dirs
