@@ -18,6 +18,8 @@ Usage::
     python -m repro serve drain
     python -m repro dispatch show
     python -m repro dispatch probe --arch haswell
+    python -m repro integrity show
+    python -m repro integrity check --threads 2
     python -m repro --trace run.jsonl tune gemm
     python -m repro trace report run.jsonl
     python -m repro bench baseline record
@@ -296,7 +298,8 @@ def cmd_serve(args) -> int:
         queue_capacity=args.queue_capacity,
         max_inflight_per_client=args.max_inflight,
         drain_grace=args.drain_grace,
-        warmup=warmup)
+        warmup=warmup,
+        integrity=args.integrity)
     action = args.serve_action
     if action == "start":
         return supervisor.start(config, foreground=args.foreground)
@@ -311,6 +314,59 @@ def cmd_serve(args) -> int:
     if action == "drain":
         return supervisor.drain(config)
     raise SystemExit(f"unknown serve action {action!r}")
+
+
+def cmd_integrity(args) -> int:
+    """``integrity {show,check}`` — the ABFT verification layer (see
+    docs/robustness.md, Integrity)."""
+    from .backend.cache import get_cache
+    from .blas import integrity as integ
+
+    if args.action == "show":
+        mode, period = integ.resolve_integrity()
+        sampling = f" (1 in {period} calls)" if mode == "sample" else ""
+        print(f"mode:                 {mode}{sampling}")
+        print(f"strike limit:         {integ.STRIKE_LIMIT} corruption "
+              f"verdicts quarantine a kernel")
+        snap = integ.STATS.snapshot()
+        for name in integ.IntegrityStats.FIELDS:
+            print(f"{name + ':':<22}{snap[name]}")
+        strikes = integ.strike_counts()
+        if strikes:
+            print("strikes (body_hash -> count):")
+            for body_hash, count in sorted(strikes.items()):
+                print(f"  {body_hash}  {count}")
+        inv = get_cache().inventory()
+        print(f"quarantined entries:  {inv['quarantined']}")
+        return 0
+
+    # check: run the emulated GEMM driver under full verification and
+    # compare against numpy.  Honors REPRO_FAULT_INJECT, so
+    # `REPRO_FAULT_INJECT=corrupt@#0 python -m repro integrity check`
+    # demonstrates detection + containment end to end.
+    rng = np.random.default_rng(7)
+    m, k, n = 24, 16, 24
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    report = integ.IntegrityReport()
+    driver = integ.emulated_gemm_driver(threads=args.threads)
+    got = driver(a, b, integrity_report=report)
+    correct = bool(np.allclose(got, a @ b, rtol=1e-10, atol=1e-12))
+    verdict = report.to_json()
+    print(f"checked {verdict['tiles_checked']} tiles: "
+          f"{verdict['mismatches']} mismatches, "
+          f"{verdict['retries']} retries, "
+          f"{verdict['reference_recomputes']} reference recomputes")
+    if verdict["quarantined"]:
+        print(f"quarantined: {', '.join(verdict['quarantined'])}")
+    if not correct:
+        print("FAIL: results diverge from numpy despite verification",
+              file=sys.stderr)
+        return 1
+    contained = "corruption detected and contained" \
+        if verdict["mismatches"] else "clean"
+    print(f"OK: results bit-correct ({contained})")
+    return 0
 
 
 def cmd_dispatch(args) -> int:
@@ -496,6 +552,10 @@ def main(argv=None) -> int:
                    metavar="SEC",
                    help="max seconds a drain waits for in-flight work "
                         "(default 30)")
+    s.add_argument("--integrity", default=None, metavar="MODE",
+                   help="ABFT verification mode for the worker's drivers "
+                        "(off|sample[:K]|full; default: $REPRO_INTEGRITY, "
+                        "else off)")
     s.add_argument("--warmup", default="gemm", metavar="LIST",
                    help="comma-separated routine families to build before "
                         "accepting work ('none' to skip; default gemm)")
@@ -516,6 +576,17 @@ def main(argv=None) -> int:
                    default="auto",
                    help="how probe kernels are executed (auto: fork when "
                         "the platform supports it)")
+
+    it = sub.add_parser("integrity",
+                        help="inspect or self-test the ABFT verification "
+                             "layer (see docs/robustness.md)")
+    it.add_argument("action", choices=["show", "check"],
+                    help="'show' prints resolved mode + counters + "
+                         "strikes; 'check' runs an emulated GEMM under "
+                         "full verification against numpy (honors "
+                         "REPRO_FAULT_INJECT)")
+    it.add_argument("--threads", type=int, default=2, metavar="N",
+                    help="GEMM thread count for 'check' (default 2)")
 
     tr = sub.add_parser("trace", help="work with recorded JSONL traces")
     tr.add_argument("action", choices=["report"])
@@ -568,6 +639,7 @@ def main(argv=None) -> int:
             "cache": cmd_cache,
             "serve": cmd_serve,
             "dispatch": cmd_dispatch,
+            "integrity": cmd_integrity,
             "trace": cmd_trace,
             "bench": cmd_bench,
         }[args.command](args)

@@ -33,6 +33,13 @@ A plan is a list of specs, each ``kind@match[:count]``:
     macro-tile (exercises the parallel driver's whole-call failure
     path: no partial C writes reach the caller, packing buffers return
     to the pool)
+    ``corrupt`` — flip one high mantissa/exponent bit in the matching
+    macro-tile's C scratch after the kernel computes it (silent data
+    corruption; exercises the ABFT detect→retry→recompute→quarantine
+    ladder in :mod:`repro.blas.integrity`).  Without a ``:count`` the
+    corruption is *persistent* — the tile's retry corrupts again,
+    forcing the reference-recompute path; ``corrupt@#0:1`` models a
+    transient bit-flip the retry heals
 
 ``match``
     ``#N`` fires at candidate index ``N`` (asm- and interrupt-stage
@@ -69,7 +76,7 @@ INTERRUPT_KINDS = frozenset({"interrupt"})
 #: kinds realized in the serve worker (BLAS-as-a-service degradations)
 SERVE_KINDS = frozenset({"serve_crash", "serve_stall", "serve_reject"})
 #: kinds realized inside a GEMM worker thread (parallel-driver failures)
-THREAD_KINDS = frozenset({"worker_die"})
+THREAD_KINDS = frozenset({"worker_die", "corrupt"})
 ALL_KINDS = (ASM_KINDS | TOOLCHAIN_KINDS | INTERRUPT_KINDS | SERVE_KINDS
              | THREAD_KINDS)
 
@@ -200,6 +207,24 @@ def take_fault(stage: str, tag: str = "",
     """Consume a planned fault for ``stage``/``tag``; ``None`` if unarmed."""
     plan = get_fault_plan()
     return plan.take(stage, tag, index) if plan is not None else None
+
+
+def corrupt_tile(buf) -> None:
+    """Realize a ``corrupt`` fault: flip bit 62 of the first element.
+
+    XOR-ing the top exponent bit turns 0.0 into 2.0 and scales any
+    other finite value by a huge power of two — always far outside any
+    checksum tolerance.  When the flip would land in the all-ones
+    exponent (values in ``[1, 2)`` become Inf/NaN), bit 61 is flipped
+    too, keeping the corruption finite — *silent* wrong bits, not a
+    NaN any consumer would notice on its own.
+    """
+    import numpy as np
+
+    view = np.asarray(buf).view(np.uint64)
+    view.flat[0] ^= np.uint64(1 << 62)
+    if not np.isfinite(np.asarray(buf).flat[0]):
+        view.flat[0] ^= np.uint64(1 << 61)
 
 
 #: instruction payloads inserted at function entry, by fault kind

@@ -9,6 +9,9 @@ from .gemm import (BlockSizes, GemmDriver, kernel_multiples, make_gemm,
 from .gemv import GemvDriver, make_gemv
 from .ger import GerDriver, make_ger
 from .guard import ArgGuard, BlasArgumentError
+from .integrity import (IntegrityChecker, IntegrityReport, IntegrityStats,
+                        resolve_integrity, reset_integrity_state,
+                        verify_gemm_tile, wrap_driver)
 from .kernels import KERNEL_SOURCES
 from .level1 import AxpyDriver, DotDriver, ScalDriver, make_axpy, make_dot, make_scal
 from .level3 import Level3
@@ -31,6 +34,13 @@ __all__ = [
     "reset_dispatch_state",
     "ArgGuard",
     "BlasArgumentError",
+    "IntegrityChecker",
+    "IntegrityReport",
+    "IntegrityStats",
+    "resolve_integrity",
+    "reset_integrity_state",
+    "verify_gemm_tile",
+    "wrap_driver",
     "GemmDriver",
     "BlockSizes",
     "make_gemm",

@@ -42,6 +42,7 @@ from .gemm import BlockSizes, GemmDriver, make_gemm
 from .gemv import GemvDriver, make_gemv
 from .ger import GerDriver
 from .guard import ArgGuard, BlasArgumentError
+from .integrity import IntegrityChecker, wrap_driver
 from .level1 import AxpyDriver, DotDriver, ScalDriver, make_axpy, make_dot, make_scal
 from .level3 import Level3
 from .reference import ref_gemm, ref_gemv, ref_syr2k, ref_syrk
@@ -58,7 +59,8 @@ class AugemBLAS:
                  hardened: bool = True,
                  nan_policy: str = "propagate",
                  isolation: Optional[str] = None,
-                 threads: Optional[int] = None) -> None:
+                 threads: Optional[int] = None,
+                 integrity=None) -> None:
         self.arch = arch or detect_host()
         self.configs = configs or {}
         self.layout = layout
@@ -66,6 +68,15 @@ class AugemBLAS:
         self.schedule = schedule
         self.threads = threads
         self.guard = ArgGuard(nan_policy=nan_policy)
+        # one checker for the whole facade: the sampling counter covers
+        # the full call stream, and a quarantine rebuilds the affected
+        # routine down the (now demoted) chain
+        if isinstance(integrity, IntegrityChecker):
+            self.integrity_checker = integrity
+        else:
+            self.integrity_checker = IntegrityChecker(mode=integrity)
+        if self.integrity_checker.on_quarantine is None:
+            self.integrity_checker.on_quarantine = self._on_quarantine
         self.chain: Optional[DispatchChain] = (
             DispatchChain(top=arch, isolation=isolation) if hardened
             else None)
@@ -89,6 +100,33 @@ class AugemBLAS:
         self._dispatch[routine] = info
         return driver
 
+    def _on_quarantine(self, family: str, verdict) -> None:
+        """Drop cached drivers after an integrity quarantine.
+
+        The tier is already demoted in the dispatch layer, so the next
+        use of the routine rebuilds down the chain — self-healing
+        without crashing the in-flight call (which already returned
+        reference-recomputed bits).
+        """
+        incr("integrity.facade_rebuild")
+        if family in ("gemm", "gemm_shuf"):
+            self._gemm = None
+            self._level3 = None
+            self._dispatch.pop("gemm", None)
+        elif family == "gemv":
+            self._gemv = None
+            self._dispatch.pop("gemv", None)
+        elif family == "axpy":
+            self._axpy = None
+            self._ger = None
+            self._dispatch.pop("axpy", None)
+        elif family == "dot":
+            self._dot = None
+            self._dispatch.pop("dot", None)
+        elif family == "scal":
+            self._scal = None
+            self._dispatch.pop("scal", None)
+
     def _note_serve(self, routine: str) -> None:
         info = self._dispatch.get(routine)
         if info is not None and info.demoted:
@@ -109,11 +147,13 @@ class AugemBLAS:
                     arch=tier.arch, config=self.configs.get("gemm"),
                     layout=self.layout, blocks=self.blocks,
                     schedule=self.schedule, loader=loader,
-                    threads=self.threads),
+                    threads=self.threads,
+                    integrity=self.integrity_checker),
                 direct=lambda: make_gemm(
                     arch=self.arch, config=self.configs.get("gemm"),
                     layout=self.layout, blocks=self.blocks,
-                    schedule=self.schedule, threads=self.threads))
+                    schedule=self.schedule, threads=self.threads,
+                    integrity=self.integrity_checker))
         return self._gemm
 
     @property
@@ -129,6 +169,8 @@ class AugemBLAS:
                     arch=self.arch, config=self.configs.get("gemv"),
                     config_n=self.configs.get("gemv_n"),
                     schedule=self.schedule))
+            self._gemv = wrap_driver("gemv", self._gemv,
+                                     self.integrity_checker)
         return self._gemv
 
     @property
@@ -142,6 +184,8 @@ class AugemBLAS:
                 direct=lambda: make_axpy(
                     arch=self.arch, config=self.configs.get("axpy"),
                     schedule=self.schedule))
+            self._axpy = wrap_driver("axpy", self._axpy,
+                                     self.integrity_checker)
         return self._axpy
 
     @property
@@ -155,6 +199,8 @@ class AugemBLAS:
                 direct=lambda: make_dot(
                     arch=self.arch, config=self.configs.get("dot"),
                     schedule=self.schedule))
+            self._dot = wrap_driver("dot", self._dot,
+                                    self.integrity_checker)
         return self._dot
 
     @property
@@ -168,6 +214,8 @@ class AugemBLAS:
                 direct=lambda: make_scal(
                     arch=self.arch, config=self.configs.get("scal"),
                     schedule=self.schedule))
+            self._scal = wrap_driver("scal", self._scal,
+                                     self.integrity_checker)
         return self._scal
 
     @property

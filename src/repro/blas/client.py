@@ -27,6 +27,12 @@ The chain is observable: ``client.request`` / ``client.remote_ok`` /
 ``client.retry`` / ``client.fallback`` / ``client.breaker_open`` /
 ``client.rejected`` / ``client.deadline`` counters (``trace report``
 renders them) and a :class:`ClientStats` mirror for trace-off tests.
+
+When the facade is built with ``integrity="sample"`` (or ``"full"``),
+the client samples requests with the shared
+:class:`~repro.blas.integrity.IntegrityChecker` counter, flags them for
+server-side ABFT verification, and folds the returned verdict into
+``client.integrity_checked`` / ``client.integrity_corrected``.
 """
 
 from __future__ import annotations
@@ -68,6 +74,8 @@ class ClientStats:
     draining_hits: int = 0
     breaker_opens: int = 0
     breaker_short_circuits: int = 0
+    integrity_checked: int = 0
+    integrity_corrected: int = 0
 
 
 class CircuitBreaker:
@@ -303,9 +311,16 @@ class ServedBLAS(AugemBLAS):
                 shapes = {name: arr.shape for name, arr in staged.items()}
                 out_view, out_ref = segments.add(
                     spec.result_shape(shapes, flags))
+            # client-side sampling: the checker's deterministic 1-in-K
+            # counter decides which requests ride with ABFT verification;
+            # sampled requests ask the server for a *full* check so the
+            # verdict covers every tile of that call
+            verify = self.integrity_checker.decide()
             header = call_header(routine, self.client_id, self.deadline_ms,
-                                 refs, scalars, flags, out_ref)
+                                 refs, scalars, flags, out_ref,
+                                 integrity="full" if verify else None)
             reply = self._exchange(header)
+            self._note_verdict(routine, reply.get("integrity"))
             if spec.output == "scalar":
                 return float(reply.get("value", 0.0))
             if spec.output == "new":
@@ -313,6 +328,25 @@ class ServedBLAS(AugemBLAS):
             target = inplace[spec.output]
             target[...] = views[spec.output]
             return target
+
+    def _note_verdict(self, routine: str,
+                      verdict: Optional[Dict[str, Any]]) -> None:
+        """Fold a response's ABFT verdict into the client stats."""
+        if not isinstance(verdict, dict) or not verdict.get("checked"):
+            return
+        self.stats.integrity_checked += 1
+        incr("client.integrity_checked")
+        corrections = (int(verdict.get("mismatches", 0))
+                       + int(verdict.get("reference_recomputes", 0)))
+        if corrections or verdict.get("quarantined"):
+            self.stats.integrity_corrected += 1
+            incr("client.integrity_corrected")
+            event("client.integrity_corrected", routine=routine,
+                  mismatches=int(verdict.get("mismatches", 0)),
+                  reference_recomputes=int(
+                      verdict.get("reference_recomputes", 0)),
+                  quarantined=",".join(
+                      str(q) for q in verdict.get("quarantined") or ()))
 
     def _exchange(self, header: Dict[str, Any]) -> Dict[str, Any]:
         """Retry/breaker loop around one request; returns the ok reply."""

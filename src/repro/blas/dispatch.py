@@ -144,23 +144,76 @@ _TIER_VERDICTS: Dict[str, Tuple[bool, str]] = {}
 _ADMITTED: Dict[str, float] = {}
 _VERDICT_LOCK = threading.RLock()
 _PROBES_RUN = 0
+_VERDICTS_REVISION = 0
 
-#: on-disk verdict store schema version (see save/load_tier_verdicts)
-VERDICT_STORE_VERSION = 1
+#: on-disk verdict store schema version (see save/load_tier_verdicts);
+#: v2 added the toolchain fingerprint key
+VERDICT_STORE_VERSION = 2
 
 
 def reset_dispatch_state() -> None:
     """Forget memoized probe/admission verdicts (tests)."""
-    global _PROBES_RUN
+    global _PROBES_RUN, _VERDICTS_REVISION
     with _VERDICT_LOCK:
         _TIER_VERDICTS.clear()
         _ADMITTED.clear()
         _PROBES_RUN = 0
+        _VERDICTS_REVISION = 0
 
 
 def probes_executed() -> int:
     """How many sandboxed ISA probes this process has actually run."""
     return _PROBES_RUN
+
+
+def verdicts_revision() -> int:
+    """Bumped on every tier-verdict write (probe or runtime demotion).
+
+    The serve worker persists the store whenever this moves, so an
+    integrity demotion survives a supervisor restart just like a probe
+    verdict does.
+    """
+    return _VERDICTS_REVISION
+
+
+def _bump_revision() -> None:
+    global _VERDICTS_REVISION
+    _VERDICTS_REVISION += 1
+
+
+def demote_tier(arch_name: str, reason: str) -> bool:
+    """Force-fail a tier's verdict for the remainder of the process.
+
+    The integrity layer (:mod:`repro.blas.integrity`) calls this when a
+    kernel on the tier keeps producing corrupt results after passing
+    admission: trust in the whole tier is gone, so every *future*
+    routine build walks past it.  Returns True if the verdict changed.
+    """
+    if arch_name not in ALL_ARCHS:
+        return False
+    with _VERDICT_LOCK:
+        current = _TIER_VERDICTS.get(arch_name)
+        if current is not None and not current[0]:
+            return False  # already demoted
+        _TIER_VERDICTS[arch_name] = (False, str(reason)[:300])
+        _bump_revision()
+    incr("dispatch.demotion")
+    event("dispatch.demotion", tier=arch_name, stage="integrity",
+          error=str(reason)[:200])
+    return True
+
+
+def _toolchain_fingerprint() -> str:
+    """The verdict store's toolchain key (``none`` without a compiler).
+
+    Probe and admission verdicts embed toolchain behavior — a compiler
+    upgrade must invalidate them rather than silently reuse them.
+    """
+    from ..backend.compiler import ToolchainError, cc_fingerprint, find_cc
+    try:
+        return cc_fingerprint(find_cc())
+    except ToolchainError:
+        return "none"
 
 
 def save_tier_verdicts(path: Union[str, Path]) -> int:
@@ -181,6 +234,7 @@ def save_tier_verdicts(path: Union[str, Path]) -> int:
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps({"version": VERDICT_STORE_VERSION,
+                                   "toolchain": _toolchain_fingerprint(),
                                    "verdicts": verdicts}, indent=2))
         os.replace(tmp, path)
     except OSError:
@@ -192,11 +246,15 @@ def load_tier_verdicts(path: Union[str, Path]) -> int:
     """Preload persisted probe verdicts (absent entries only).
 
     Returns how many verdicts were adopted.  A live probe this process
-    already ran always wins over the disk record.
+    already ran always wins over the disk record, and a store written
+    under a different toolchain (or schema version) is ignored
+    wholesale — stale verdicts must be re-proved, not trusted.
     """
     try:
         record = json.loads(Path(path).read_text())
         if record.get("version") != VERDICT_STORE_VERSION:
+            return 0
+        if record.get("toolchain") != _toolchain_fingerprint():
             return 0
         verdicts = record["verdicts"]
     except (OSError, ValueError, KeyError, TypeError):
@@ -211,6 +269,8 @@ def load_tier_verdicts(path: Union[str, Path]) -> int:
             if name in ALL_ARCHS and name not in _TIER_VERDICTS:
                 _TIER_VERDICTS[name] = (ok, detail)
                 adopted += 1
+        if adopted:
+            _bump_revision()
     return adopted
 
 
@@ -378,6 +438,7 @@ class DispatchChain:
                 return cached[0]
             ok, detail = self._probe_tier(tier)
             _TIER_VERDICTS[tier.arch.name] = (ok, detail)
+            _bump_revision()
         if not ok:
             incr("dispatch.demotion")
             event("dispatch.demotion", tier=tier.name, stage="probe",

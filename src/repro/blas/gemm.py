@@ -35,17 +35,22 @@ thread count comes from the constructor, a per-call override, or
 from __future__ import annotations
 
 import threading as _threading
+import time as _time
 from dataclasses import dataclass
 from functools import partial
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..backend.faults import InjectedWorkerFault, take_fault
+from ..backend.faults import (InjectedWorkerFault, corrupt_tile,
+                              take_fault)
 from ..backend.runner import GemmKernel
 from ..core.framework import GeneratedKernel
 from ..obs import event, incr, span
 from ..obs import trace as _trace
+from .integrity import STATS as _ISTATS
+from .integrity import (IntegrityChecker, IntegrityReport,
+                        resolve_integrity, verify_gemm_tile)
 from .packing import pack_a, pack_b_dup, pack_b_shuf
 from .threading import PackBufferPool, get_pool, resolve_threads
 
@@ -123,10 +128,14 @@ class GemmDriver:
     process-wide, and every call works on private tile buffers.
     """
 
+    #: the serve worker keys per-request ABFT on this marker
+    supports_integrity = True
+
     def __init__(self, kernel: GemmKernel, layout: str = "dup",
                  blocks: Optional[BlockSizes] = None,
                  threads: Optional[int] = None,
-                 pack_pool: Optional[PackBufferPool] = None) -> None:
+                 pack_pool: Optional[PackBufferPool] = None,
+                 integrity=None) -> None:
         if layout not in ("dup", "shuf"):
             raise ValueError("layout must be 'dup' or 'shuf'")
         self.kernel = kernel
@@ -135,12 +144,24 @@ class GemmDriver:
         self.threads = resolve_threads(threads)
         self.pack_pool = pack_pool or PackBufferPool()
         self.mu, self.nu, self.ku = kernel_multiples(kernel.generated)
+        if isinstance(integrity, IntegrityChecker):
+            self.integrity = integrity
+        else:
+            self.integrity = IntegrityChecker(mode=integrity)
 
     def __call__(self, a: np.ndarray, b: np.ndarray,
                  c: Optional[np.ndarray] = None,
                  alpha: float = 1.0, beta: float = 0.0,
-                 threads: Optional[int] = None) -> np.ndarray:
-        """``C = alpha * A @ B + beta * C`` for row-major 2-D float64 arrays."""
+                 threads: Optional[int] = None,
+                 integrity: Optional[str] = None,
+                 integrity_report: Optional[IntegrityReport] = None
+                 ) -> np.ndarray:
+        """``C = alpha * A @ B + beta * C`` for row-major 2-D float64 arrays.
+
+        ``integrity`` overrides the driver's ABFT mode for this call
+        (the serve per-request flag); ``integrity_report`` collects the
+        per-call verification record.
+        """
         a = np.asarray(a, dtype=np.float64)
         b = np.asarray(b, dtype=np.float64)
         if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
@@ -156,6 +177,12 @@ class GemmDriver:
                 out[:] = 0.0
             elif beta != 1.0:
                 out *= beta
+        report = integrity_report
+        check = self.integrity.decide(integrity)
+        if report is not None:
+            report.mode = self.integrity.mode if integrity is None \
+                else resolve_integrity(integrity)[0]
+            report.checked = report.checked or check
         if alpha == 0.0 or k == 0:
             return out if out is not None else np.zeros((m, n))
 
@@ -185,7 +212,8 @@ class GemmDriver:
                               i0, im, _round_up(im, self.mu)))
         if tiles:
             self._run_tiles(tiles, a, b, work_rows, alpha, k, kc,
-                            min(nthreads, len(tiles)))
+                            min(nthreads, len(tiles)), check=check,
+                            report=report)
 
         result = work_rows.T  # (m, n) view, F-contiguous
         if out is None:
@@ -196,7 +224,8 @@ class GemmDriver:
     # -- tile execution ----------------------------------------------------
 
     def _run_tiles(self, tiles, a, b, work_rows, alpha, k, kc,
-                   nthreads) -> None:
+                   nthreads, check: bool = False,
+                   report: Optional[IntegrityReport] = None) -> None:
         pool = self.pack_pool
         pack_b = pack_b_dup if self.layout == "dup" else pack_b_shuf
         family = "gemm" if self.layout == "dup" else "gemm_shuf"
@@ -252,29 +281,134 @@ class GemmDriver:
                         f"{slot.error}") from slot.error
             return slot.buf
 
-        def run_tile(index: int, j0: int, jn: int, jn_pad: int, i0: int,
-                     im: int, im_pad: int) -> None:
-            if take_fault("thread", tag=family, index=index) == "worker_die":
-                raise InjectedWorkerFault(
-                    f"injected worker_die at {family} tile #{index}")
+        checker = self.integrity
+
+        def note(field: str, n: int = 1) -> None:
+            _ISTATS.add(field, n)
+            incr(f"integrity.{field}", n)
+            # the per-call report counts tiles_checked, not raw checks
+            if report is not None and field != "checks":
+                report.note(field, n)
+
+        def note_overhead(t0: int) -> None:
+            dt = _time.perf_counter_ns() - t0
+            _ISTATS.add("overhead_ns", dt)
+            if report is not None:
+                report.note("overhead_ns", dt)
+
+        def compute_tile(j0: int, jn: int, jn_pad: int, i0: int, im: int,
+                         im_pad: int, corrupt: bool,
+                         shared_panels: bool) -> np.ndarray:
+            """Pack and multiply one macro-tile into a pooled buffer.
+
+            The caller owns (and must release) the returned buffer.
+            ``shared_panels=False`` repacks B privately — the ABFT
+            retry must not reuse a possibly-corrupt shared panel.
+            """
             c_buf = pool.acquire(im_pad * jn_pad)
             try:
                 c_buf[:] = 0.0
                 for l0 in range(0, k, kc):
                     ln = min(kc, k - l0)
                     ln_pad = _round_up(ln, self.ku)
-                    b_panel = ensure_panel(j0, jn, jn_pad, l0, ln, ln_pad)
+                    b_private: Optional[np.ndarray] = None
+                    if shared_panels:
+                        b_panel = ensure_panel(j0, jn, jn_pad, l0, ln,
+                                               ln_pad)
+                    else:
+                        b_panel = b_private = pool.acquire(ln_pad * jn_pad)
                     a_buf = pool.acquire(im_pad * ln_pad)
                     try:
+                        if b_private is not None:
+                            pack_b(b[l0:l0 + ln, j0:j0 + jn], ln_pad,
+                                   jn_pad, out=b_private)
                         pack_a(a[i0:i0 + im, l0:l0 + ln], im_pad, ln_pad,
                                out=a_buf, alpha=alpha)
                         self.kernel(im_pad, jn_pad, ln_pad,
                                     a_buf, b_panel, c_buf, im_pad)
                     finally:
                         pool.release(a_buf)
+                        if b_private is not None:
+                            pool.release(b_private)
+                if corrupt:
+                    corrupt_tile(c_buf)
+                return c_buf
+            except BaseException:
+                pool.release(c_buf)
+                raise
+
+        def resolve_tile(c_buf: np.ndarray, index: int, j0: int, jn: int,
+                         jn_pad: int, i0: int, im: int,
+                         im_pad: int) -> np.ndarray:
+            """The verified (jn, im) tile to add into the workspace.
+
+            Clean tiles return the view into ``c_buf`` (added before
+            the caller releases it); the mismatch ladder returns a
+            private copy safe to read after any pooled buffer goes
+            back.
+            """
+            t0 = _time.perf_counter_ns()
+            a_sub = a[i0:i0 + im, :]
+            b_sub = b[:, j0:j0 + jn]
+            tile = c_buf.reshape(jn_pad, im_pad)[:jn, :im]
+            note("checks")
+            if report is not None:
+                report.note("tiles_checked")
+            if verify_gemm_tile(tile, a_sub, b_sub, alpha):
+                note_overhead(t0)
+                return tile
+            worker = _threading.current_thread().name
+            note("mismatches")
+            event("integrity.mismatch", family=family, tile=index,
+                  j0=j0, i0=i0, worker=worker)
+            # rung 1: retry once on freshly zeroed pooled buffers with
+            # privately packed panels (heals transient bit-flips and
+            # dirty-scratch races; the fault plan is re-consulted so a
+            # persistent `corrupt` spec corrupts the retry too)
+            note("retries")
+            refault = take_fault("thread", tag=family, index=index)
+            buf2 = compute_tile(j0, jn, jn_pad, i0, im, im_pad,
+                                refault == "corrupt", shared_panels=False)
+            try:
+                tile2 = buf2.reshape(jn_pad, im_pad)[:jn, :im]
+                if verify_gemm_tile(tile2, a_sub, b_sub, alpha):
+                    event("integrity.retry_ok", family=family, tile=index,
+                          j0=j0, i0=i0)
+                    tile2 = np.array(tile2)
+                    note_overhead(t0)
+                    return tile2
+                tile2 = None
+            finally:
+                pool.release(buf2)
+            # rung 2: reference recompute — the caller always receives
+            # correct bits, whatever the kernel did
+            note("reference_recomputes")
+            ref_tile = np.ascontiguousarray((alpha * (a_sub @ b_sub)).T)
+            # rung 3: strike the kernel; quarantine + demote at the limit
+            verdict = checker.record_corruption(
+                family, self.kernel,
+                detail=f"tile ({j0},{i0}) mismatched twice on {worker}")
+            if report is not None and verdict.get("quarantined"):
+                report.quarantine(str(verdict.get("body_hash")))
+            note_overhead(t0)
+            return ref_tile
+
+        def run_tile(index: int, j0: int, jn: int, jn_pad: int, i0: int,
+                     im: int, im_pad: int) -> None:
+            fault = take_fault("thread", tag=family, index=index)
+            if fault == "worker_die":
+                raise InjectedWorkerFault(
+                    f"injected worker_die at {family} tile #{index}")
+            c_buf = compute_tile(j0, jn, jn_pad, i0, im, im_pad,
+                                 fault == "corrupt", shared_panels=True)
+            try:
+                if check:
+                    tile = resolve_tile(c_buf, index, j0, jn, jn_pad,
+                                        i0, im, im_pad)
+                else:
+                    tile = c_buf.reshape(jn_pad, im_pad)[:jn, :im]
                 # disjoint slice per tile: concurrent adds never overlap
-                work_rows[j0:j0 + jn, i0:i0 + im] += (
-                    c_buf.reshape(jn_pad, im_pad)[:jn, :im])
+                work_rows[j0:j0 + jn, i0:i0 + im] += tile
             finally:
                 pool.release(c_buf)
             retire_column(j0)
@@ -311,13 +445,16 @@ class GemmDriver:
 def make_gemm(arch=None, config=None, strategy: str = "auto",
               layout: str = "dup", blocks: Optional[BlockSizes] = None,
               schedule: bool = True, loader=None,
-              threads: Optional[int] = None) -> GemmDriver:
+              threads: Optional[int] = None,
+              integrity=None) -> GemmDriver:
     """Generate, assemble and wrap a DGEMM for the given (or host) arch.
 
     ``loader`` replaces :func:`~repro.backend.runner.load_kernel` — the
     dispatch layer passes a quarantine-aware, fault-instrumented loader.
     ``threads`` pins the driver's thread count (default:
-    ``$REPRO_THREADS``, else 1).
+    ``$REPRO_THREADS``, else 1); ``integrity`` the ABFT mode or a shared
+    :class:`~repro.blas.integrity.IntegrityChecker` (default:
+    ``$REPRO_INTEGRITY``, else off).
     """
     from ..backend.runner import load_kernel
     from ..core.framework import Augem
@@ -327,4 +464,5 @@ def make_gemm(arch=None, config=None, strategy: str = "auto",
     kernel_name = "gemm" if layout == "dup" else "gemm_shuf"
     gk = aug.generate_named(kernel_name, config=config, strategy=strategy)
     native = load(kernel_name, gk)
-    return GemmDriver(native, layout=layout, blocks=blocks, threads=threads)
+    return GemmDriver(native, layout=layout, blocks=blocks, threads=threads,
+                      integrity=integrity)

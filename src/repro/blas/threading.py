@@ -29,6 +29,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+import weakref
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -90,6 +91,8 @@ class PackBufferPool:
         self.misses = 0
         self.allocations = 0
         self.allocated_bytes = 0
+        with _POOLS_LOCK:
+            _BUFFER_POOLS.add(self)
 
     @property
     def outstanding(self) -> int:
@@ -129,6 +132,20 @@ class PackBufferPool:
             free = self._free.setdefault(size, [])
             if len(free) < self.max_free_per_size:
                 free.append(buf)
+
+    def drain_free(self) -> int:
+        """Drop every cached spare buffer; returns bytes released.
+
+        Outstanding (lent) buffers are untouched — borrowers still
+        release them normally, they just won't be pooled afterwards
+        until re-acquired.  Called on serve worker drain/shutdown so
+        packing scratch does not leak across supervisor restarts.
+        """
+        with self._lock:
+            released = sum(buf.size * 8 for bufs in self._free.values()
+                           for buf in bufs)
+            self._free.clear()
+        return released
 
     def stats(self) -> Dict[str, int]:
         with self._lock:
@@ -280,6 +297,8 @@ class WorkerPool:
 
 _POOLS: Dict[int, WorkerPool] = {}
 _POOLS_LOCK = threading.Lock()
+#: every live PackBufferPool, so reset_pools() can drain their spares
+_BUFFER_POOLS: "weakref.WeakSet[PackBufferPool]" = weakref.WeakSet()
 
 
 def get_pool(threads: int) -> WorkerPool:
@@ -297,7 +316,16 @@ def get_pool(threads: int) -> WorkerPool:
         return pool
 
 
-def reset_pools() -> None:
-    """Forget the shared pools (tests); existing threads die idle."""
+def reset_pools() -> int:
+    """Forget the shared worker pools and drain every buffer pool.
+
+    Existing worker threads die idle.  Every live
+    :class:`PackBufferPool` drops its cached spare buffers (packing and
+    integrity scratch), so a draining serve worker releases the memory
+    instead of leaking it across supervisor restarts.  Returns the
+    number of buffer bytes released.
+    """
     with _POOLS_LOCK:
         _POOLS.clear()
+        pools = list(_BUFFER_POOLS)
+    return sum(pool.drain_free() for pool in pools)

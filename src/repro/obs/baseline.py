@@ -170,6 +170,19 @@ class BaselineError(RuntimeError):
     """The baseline file is missing, unreadable, or incomparable."""
 
 
+def _axis_mismatch(path: Path, axis: str, recorded, found,
+                   hint: str = "re-record it") -> "BaselineError":
+    """A comparability failure, uniformly naming the mismatched axis.
+
+    Every incomparable-baseline error (``bench baseline check`` exit 2)
+    goes through here so the message always answers both questions the
+    operator has: which axis diverged, and what each side's value was.
+    """
+    return BaselineError(
+        f"baseline {path} axis mismatch: {axis} — recorded {recorded!r}, "
+        f"found {found!r}; {hint}")
+
+
 def load_baseline(path: Path = DEFAULT_PATH) -> Dict:
     path = Path(path)
     try:
@@ -181,10 +194,9 @@ def load_baseline(path: Path = DEFAULT_PATH) -> Dict:
     except (OSError, ValueError) as exc:
         raise BaselineError(f"unreadable baseline {path}: {exc}") from None
     if record.get("workload_version") != WORKLOAD_VERSION:
-        raise BaselineError(
-            f"baseline {path} was recorded against workload version "
-            f"{record.get('workload_version')!r} (current "
-            f"{WORKLOAD_VERSION}); re-record it")
+        raise _axis_mismatch(path, "workload_version",
+                             record.get("workload_version"),
+                             WORKLOAD_VERSION)
     return record
 
 
@@ -219,14 +231,11 @@ def check_baseline(path: Path = DEFAULT_PATH,
     record = load_baseline(path)
     arch = arch or detect_host()
     if record.get("arch") != arch.name:
-        raise BaselineError(
-            f"baseline {path} was recorded on arch {record.get('arch')!r}, "
-            f"checking on {arch.name!r}; re-record it")
+        raise _axis_mismatch(path, "arch", record.get("arch"), arch.name)
     if record.get("threads") != threads:
-        raise BaselineError(
-            f"baseline {path} was recorded with threads="
-            f"{record.get('threads')!r}, checking with threads="
-            f"{threads!r}; re-record it (or pass the matching --threads)")
+        raise _axis_mismatch(
+            path, "threads", record.get("threads"), threads,
+            hint="re-record it (or pass the matching --threads)")
     kernels = list(record.get("kernels", {}))
     rows: List[CheckRow] = []
     for kernel in kernels:

@@ -16,6 +16,10 @@
   by routine and outcome, the peak admission-queue depth observed, and
   the ``serve.*`` / ``client.*`` counters (requests, rejections, drains,
   client fallbacks);
+- **integrity** — the ABFT verification rollup: mismatch events grouped
+  by routine family, quarantine events with the kernel they retired,
+  and the ``integrity.*`` counters (checks, mismatches, retries,
+  reference recomputes, quarantines, overhead);
 - **counters** — the accumulated cache/toolchain counters.
 """
 
@@ -94,6 +98,8 @@ def render_report(records: List[Dict[str, Any]]) -> str:
     admits: Dict[str, Dict[str, int]] = {}   # family/tier -> verdict -> n
     serve_reqs: Dict[str, Dict[str, int]] = {}  # routine -> status -> n
     serve_queue_peak = -1
+    integrity_mismatches: Dict[str, int] = {}   # family -> count
+    integrity_quarantines: List[str] = []       # "family/kernel" labels
     for record in records:
         ev = record.get("ev")
         attrs = record.get("attrs", {}) or {}
@@ -121,9 +127,18 @@ def render_report(records: List[Dict[str, Any]]) -> str:
                     serve_queue_peak = max(serve_queue_peak, int(depth))
         elif ev == "event":
             events += 1
-            if record.get("name") == "tune.trial":
+            name = record.get("name")
+            if name == "tune.trial":
                 key = str(attrs.get("kernel", "?"))
                 kernels.setdefault(key, _KernelAgg()).add(attrs)
+            elif name == "integrity.mismatch":
+                family = str(attrs.get("family", "?"))
+                integrity_mismatches[family] = \
+                    integrity_mismatches.get(family, 0) + 1
+            elif name == "integrity.quarantine":
+                integrity_quarantines.append(
+                    f"{attrs.get('family', '?')}/"
+                    f"{attrs.get('kernel', '?')}")
         elif ev == "counter":
             counters[str(record.get("name", "?"))] = float(
                 record.get("value", 0.0))
@@ -201,6 +216,24 @@ def render_report(records: List[Dict[str, Any]]) -> str:
             for name in sorted(serve_counters):
                 value = serve_counters[name]
                 shown.append(f"{name}="
+                             f"{int(value) if value == int(value) else value}")
+            lines.append("counters: " + " ".join(shown))
+
+    integrity_counters = {n: v for n, v in counters.items()
+                          if n.startswith("integrity.")}
+    if integrity_mismatches or integrity_quarantines or integrity_counters:
+        lines.append("")
+        lines.append("-- integrity --")
+        for family in sorted(integrity_mismatches):
+            lines.append(f"mismatch {family}: "
+                         f"{integrity_mismatches[family]}")
+        for label in integrity_quarantines:
+            lines.append(f"quarantined {label}")
+        if integrity_counters:
+            shown = []
+            for name in sorted(integrity_counters):
+                value = integrity_counters[name]
+                shown.append(f"{name.removeprefix('integrity.')}="
                              f"{int(value) if value == int(value) else value}")
             lines.append("counters: " + " ".join(shown))
 

@@ -193,10 +193,25 @@ ROUTINES: Dict[str, RoutineSpec] = {
 # request / response constructors (keep both sides symmetrical)
 # ---------------------------------------------------------------------------
 
+#: quota surcharge divisor for verified requests: ABFT adds O(n²)
+#: checksum work on top of the O(n³) routine, so an integrity-flagged
+#: request is charged an extra 1/8 of its operand bytes against the
+#: per-client byte quota (both sides compute it via charged_bytes())
+INTEGRITY_SURCHARGE_SHIFT = 3
+
+
+def charged_bytes(nbytes: int, integrity: Optional[str]) -> int:
+    """Quota bytes for a request: operands + the ABFT verification tax."""
+    if integrity and integrity != "off":
+        return nbytes + (nbytes >> INTEGRITY_SURCHARGE_SHIFT)
+    return nbytes
+
+
 def call_header(routine: str, client: str, deadline_ms: int,
                 arrays: Dict[str, ArrayRef],
                 scalars: Dict[str, float], flags: Dict[str, bool],
-                out: Optional[ArrayRef]) -> Dict[str, Any]:
+                out: Optional[ArrayRef],
+                integrity: Optional[str] = None) -> Dict[str, Any]:
     header: Dict[str, Any] = {
         "op": "call", "v": PROTOCOL_VERSION, "routine": routine,
         "client": client, "deadline_ms": int(deadline_ms),
@@ -205,6 +220,8 @@ def call_header(routine: str, client: str, deadline_ms: int,
     }
     if out is not None:
         header["out"] = out.to_json()
+    if integrity is not None:
+        header["integrity"] = str(integrity)
     return header
 
 

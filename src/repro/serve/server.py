@@ -50,6 +50,9 @@ from ..backend.cache import cache_root
 from ..backend.faults import take_fault
 from ..blas import dispatch
 from ..blas.api import AugemBLAS
+from ..blas.integrity import STATS as integrity_stats
+from ..blas.integrity import IntegrityReport, resolve_integrity
+from ..blas.threading import reset_pools
 from ..obs import event, incr, span
 from . import protocol
 from .protocol import (ERR_BAD_REQUEST, ERR_BUSY, ERR_DEADLINE, ERR_DRAINING,
@@ -87,6 +90,7 @@ class ServeConfig:
     socket_path: Optional[Path] = None
     compute_threads: int = 2
     gemm_threads: Optional[int] = None  # per-call GEMM parallelism
+    integrity: Optional[str] = None     # worker ABFT mode (off/sample/full)
     queue_capacity: int = 32
     max_inflight_per_client: int = DEFAULT_MAX_INFLIGHT_PER_CLIENT
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES
@@ -157,7 +161,7 @@ class ServeWorker:
         self._queue_peak = 0
         self._started_at = time.time()
         self.verdicts_preloaded = 0
-        self._persisted_probes = -1
+        self._persisted_state = (-1, -1)
         self.exit_code = EXIT_DRAINED
 
     # -- lazy BLAS (the expensive startup work the daemon amortizes) -------
@@ -168,7 +172,8 @@ class ServeWorker:
             with self._state_lock:
                 if self._blas is None:
                     self._blas = AugemBLAS(
-                        threads=self.config.gemm_threads)
+                        threads=self.config.gemm_threads,
+                        integrity=self.config.integrity)
         return self._blas
 
     def _driver_for(self, routine: str):
@@ -192,11 +197,19 @@ class ServeWorker:
         self._persist_verdicts()
 
     def _persist_verdicts(self) -> None:
-        """Save fresh ISA-probe verdicts so a restart starts warm."""
-        probes = dispatch.probes_executed()
-        if probes != self._persisted_probes:
-            self._persisted_probes = probes
+        """Save fresh tier verdicts so a restart starts warm.
+
+        Keyed on the verdict *revision*, not just the probe count — an
+        integrity demotion (no new probe) must survive a supervisor
+        restart exactly like a probe failure does.
+        """
+        with self._state_lock:
+            state = (dispatch.probes_executed(),
+                     dispatch.verdicts_revision())
+            if state == self._persisted_state:
+                return
             dispatch.save_tier_verdicts(self.config.verdict_path)
+            self._persisted_state = state
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -251,6 +264,7 @@ class ServeWorker:
                 self.queue.put(_SENTINEL)
             for t in workers:
                 t.join(timeout=2.0)
+            reset_pools()
             try:
                 cfg.socket_path.unlink()
             except OSError:
@@ -280,7 +294,11 @@ class ServeWorker:
                 time.sleep(0.02)
             self.quotas.seal(self.config.accounting_path)
             self._persist_verdicts()
-            event("serve.drain", phase="sealed")
+            # release pooled packing/integrity scratch: a drained worker
+            # must not hold buffer memory across supervisor restarts
+            released = reset_pools()
+            event("serve.drain", phase="sealed",
+                  pool_bytes_released=released)
         self._stop.set()
 
     # -- connection handling -----------------------------------------------
@@ -383,6 +401,16 @@ class ServeWorker:
                 ERR_DRAINING, "worker is draining; no new work admitted"))
             return
 
+        req_integrity = header.get("integrity")
+        if req_integrity is not None:
+            try:
+                req_integrity = str(req_integrity)
+                resolve_integrity(req_integrity)
+            except ValueError as exc:
+                send_frame(conn, error_response(ERR_BAD_REQUEST, str(exc)))
+                return
+            incr("serve.integrity_requests")
+
         try:
             nbytes = sum(
                 ArrayRef.from_json(rec).nbytes
@@ -392,6 +420,8 @@ class ServeWorker:
         except ProtocolError as exc:
             send_frame(conn, error_response(ERR_BAD_REQUEST, str(exc)))
             return
+        # verified requests pay for their O(n²) checksum work
+        nbytes = protocol.charged_bytes(nbytes, req_integrity)
 
         try:
             self.quotas.admit(client, nbytes)
@@ -465,8 +495,11 @@ class ServeWorker:
                     request.response = self._execute(request)
                     sp.set(status="ok" if request.response.get("ok")
                            else request.response["error"]["code"])
-            request.done.set()
+            # persist before acknowledging: a demotion this request
+            # triggered must be durable by the time its reply (which
+            # reports the quarantine) reaches the client
             self._persist_verdicts()
+            request.done.set()
 
     def _execute(self, request: _Request) -> Dict[str, Any]:
         header = request.header
@@ -511,22 +544,41 @@ class ServeWorker:
 
     def _run_routine(self, routine: str, driver, spec, arrays, scalars,
                      flags, header, attached: AttachedSet) -> Dict[str, Any]:
+        # Per-request ABFT: a flagged request runs the driver in the
+        # requested mode and gets the verdict back in the response, so
+        # clients can audit correction/quarantine activity per call.
+        req_integrity = header.get("integrity")
+        report: Optional[IntegrityReport] = None
+        kwargs: Dict[str, Any] = {}
+        if (req_integrity is not None
+                and getattr(driver, "supports_integrity", False)):
+            report = IntegrityReport()
+            kwargs = {"integrity": str(req_integrity),
+                      "integrity_report": report}
+
+        def done(response: Dict[str, Any]) -> Dict[str, Any]:
+            if report is not None:
+                response["integrity"] = report.to_json()
+            return response
+
         if routine == "gemm":
             result = driver(arrays["a"], arrays["b"], arrays.get("c"),
-                            alpha=scalars["alpha"], beta=scalars["beta"])
+                            alpha=scalars["alpha"], beta=scalars["beta"],
+                            **kwargs)
         elif routine == "gemv":
             result = driver(arrays["a"], arrays["x"], arrays.get("y"),
                             alpha=scalars["alpha"], beta=scalars["beta"],
-                            trans=flags["trans"])
+                            trans=flags["trans"], **kwargs)
         elif routine == "axpy":
-            driver(scalars["alpha"], arrays["x"], arrays["y"])
-            return ok_response(result="y")
+            driver(scalars["alpha"], arrays["x"], arrays["y"], **kwargs)
+            return done(ok_response(result="y"))
         elif routine == "dot":
-            return ok_response(value=float(driver(arrays["x"],
-                                                  arrays["y"])))
+            return done(ok_response(value=float(driver(arrays["x"],
+                                                       arrays["y"],
+                                                       **kwargs))))
         elif routine == "scal":
-            driver(scalars["alpha"], arrays["x"])
-            return ok_response(result="x")
+            driver(scalars["alpha"], arrays["x"], **kwargs)
+            return done(ok_response(result="x"))
         else:  # unreachable: admission validated the routine
             return error_response(ERR_BAD_REQUEST,
                                   f"unservable routine {routine!r}")
@@ -542,7 +594,7 @@ class ServeWorker:
                 f"result shape {result.shape} does not fit out segment "
                 f"{out_view.shape}")
         out_view[...] = result
-        return ok_response(result="out")
+        return done(ok_response(result="out"))
 
     # -- introspection -----------------------------------------------------
 
@@ -565,6 +617,10 @@ class ServeWorker:
             "routines": routines,
             "calls": self._call_index,
             "gemm_threads": self.config.gemm_threads,
+            "integrity": {
+                "mode": resolve_integrity(self.config.integrity)[0],
+                **integrity_stats.snapshot(),
+            },
         }
 
 

@@ -155,6 +155,8 @@ def _worker_argv(config: ServeConfig) -> List[str]:
     ]
     if config.gemm_threads is not None:
         argv += ["--gemm-threads", str(config.gemm_threads)]
+    if config.integrity is not None:
+        argv += ["--integrity", str(config.integrity)]
     return argv
 
 
@@ -262,6 +264,8 @@ def start(config: ServeConfig, foreground: bool = False) -> int:
             "--warmup", ",".join(config.warmup) or "none"]
     if config.gemm_threads is not None:
         argv += ["--gemm-threads", str(config.gemm_threads)]
+    if config.integrity is not None:
+        argv += ["--integrity", str(config.integrity)]
     with open(log_path, "ab") as log:
         proc = subprocess.Popen(argv, stdout=log, stderr=log,
                                 start_new_session=True,
@@ -352,6 +356,12 @@ def status(config: ServeConfig) -> int:
           f"{totals.get('rejected_quota', 0)}")
     print(f"dispatch    : probes_run {ws.get('probes_run', 0)}, "
           f"verdicts_preloaded {ws.get('verdicts_preloaded', 0)}")
+    integ = ws.get("integrity")
+    if integ:
+        print(f"integrity   : mode {integ.get('mode', 'off')}, "
+              f"checks {integ.get('checks', 0)}, "
+              f"mismatches {integ.get('mismatches', 0)}, "
+              f"quarantines {integ.get('quarantines', 0)}")
     for routine, tier in sorted(ws.get("routines", {}).items()):
         print(f"  {routine:<10} -> {tier}")
     return 0

@@ -60,8 +60,13 @@ def test_load_baseline_workload_version_mismatch(tmp_path):
     path = tmp_path / "old.json"
     path.write_text(json.dumps({"workload_version": WORKLOAD_VERSION + 1,
                                 "kernels": {}}))
-    with pytest.raises(BaselineError, match="workload version"):
+    with pytest.raises(BaselineError) as excinfo:
         load_baseline(path)
+    # the message names the axis and both sides of the mismatch
+    message = str(excinfo.value)
+    assert "axis mismatch: workload_version" in message
+    assert f"recorded {WORKLOAD_VERSION + 1}" in message
+    assert f"found {WORKLOAD_VERSION}" in message
 
 
 def test_cli_check_without_baseline_exits_2(tmp_path, capsys):
@@ -166,5 +171,8 @@ def test_check_threads_mismatch_synthetic(tmp_path):
         "version": 1, "workload_version": WORKLOAD_VERSION,
         "arch": detect_host().name, "threads": 4,
         "kernels": {"gemm": {"gflops": 1.0}}}))
-    with pytest.raises(BaselineError, match="threads=4"):
+    with pytest.raises(BaselineError) as excinfo:
         baseline.check_baseline(path=path, threads=1)
+    message = str(excinfo.value)
+    assert "axis mismatch: threads" in message
+    assert "recorded 4" in message and "found 1" in message
