@@ -13,6 +13,8 @@ Usage::
     python -m repro tune sessions resume <session-id>
     python -m repro tune sessions gc --max-age-days 7
     python -m repro cache stats
+    python -m repro cache scrub --repair
+    python -m repro cache gc --max-bytes 512m
     python -m repro serve start
     python -m repro serve status
     python -m repro serve drain
@@ -253,7 +255,10 @@ def cmd_tune_sessions(args) -> int:
 
 
 def cmd_cache(args) -> int:
-    from .backend.cache import get_cache
+    import json as _json
+
+    from .backend import fsio
+    from .backend.cache import cache_max_bytes, get_cache, parse_bytes
 
     cache = get_cache()
     if args.action == "clear":
@@ -262,6 +267,33 @@ def cmd_cache(args) -> int:
               f" from {cache.root}" if cache.enabled
               else "cache disabled (REPRO_CACHE_DIR=off); nothing to clear")
         return 0
+    if args.action == "scrub":
+        from .backend.scrub import (DEFAULT_TMP_AGE, EXIT_CORRUPT,
+                                    render_verdict, scrub_store)
+
+        tmp_age = DEFAULT_TMP_AGE if args.tmp_age is None else args.tmp_age
+        verdict = scrub_store(cache, repair=args.repair, tmp_age=tmp_age)
+        if args.json:
+            print(_json.dumps(verdict, indent=2))
+        else:
+            print(render_verdict(verdict))
+        return 0 if verdict["ok"] else EXIT_CORRUPT
+    if args.action == "gc":
+        budget = (parse_bytes(args.max_bytes) if args.max_bytes is not None
+                  else cache_max_bytes())
+        if budget is None:
+            print("no cache size budget: pass --max-bytes or set "
+                  "REPRO_CACHE_MAX_BYTES", file=sys.stderr)
+            return 2
+        report = cache.gc(max_bytes=budget)
+        if args.json:
+            print(_json.dumps(report, indent=2))
+        else:
+            print(f"evicted {report['evicted']} entr"
+                  f"{'y' if report['evicted'] == 1 else 'ies'} "
+                  f"({report['before_bytes']} -> {report['after_bytes']} "
+                  f"bytes, budget {report['budget_bytes']})")
+        return 0
     # stats
     from .tuning.session import sessions_inventory
 
@@ -269,12 +301,19 @@ def cmd_cache(args) -> int:
     totals = cache.cumulative_stats()
     sessions = sessions_inventory()
     print(f"cache root:      {inv['root']}")
-    print(f"compiled entries: {inv['entries']} ({inv['bytes']} bytes)")
+    print(f"compiled entries: {inv['entries']} ({inv['bytes']} bytes "
+          f"on disk)")
+    if inv["max_bytes"] is not None:
+        print(f"size budget:      {inv['max_bytes']} bytes "
+              f"(headroom {inv['headroom_bytes']})")
     print(f"tuning records:   {inv['tuning_records']}")
     print(f"quarantined:      {inv['quarantined']}")
     print(f"sessions:         {sessions['count']} "
           f"({sessions['resumable']} resumable, "
           f"{sessions['journal_bytes']} journal bytes)")
+    degraded = fsio.disk_degraded()
+    print(f"disk health:      "
+          f"{'DEGRADED (' + degraded + ')' if degraded else 'ok'}")
     print(f"cumulative:       {totals.describe()}")
     return 0
 
@@ -518,8 +557,27 @@ def main(argv=None) -> int:
                         "(<= 0 disables)")
     t.add_argument("-v", "--verbose", action="store_true")
 
-    c = sub.add_parser("cache", help="inspect or clear the kernel cache")
-    c.add_argument("action", choices=["stats", "clear"])
+    c = sub.add_parser("cache",
+                       help="inspect, clear, scrub, or garbage-collect "
+                            "the kernel cache")
+    c.add_argument("action", choices=["stats", "clear", "scrub", "gc"],
+                   help="'scrub' re-verifies every persisted artifact "
+                        "(exit 5 when unrepaired corruption remains); "
+                        "'gc' evicts least-recently-used entries down to "
+                        "a size budget (quarantine records are never "
+                        "evicted)")
+    c.add_argument("--repair", action="store_true",
+                   help="with 'scrub': evict what cannot be verified "
+                        "instead of only reporting it")
+    c.add_argument("--json", action="store_true",
+                   help="with 'scrub'/'gc': print the machine-readable "
+                        "verdict instead of the human rendering")
+    c.add_argument("--max-bytes", default=None, metavar="N",
+                   help="with 'gc': the size budget (suffixes k/m/g/t; "
+                        "default: $REPRO_CACHE_MAX_BYTES)")
+    c.add_argument("--tmp-age", type=float, default=None, metavar="SEC",
+                   help="with 'scrub': age before publish scratch counts "
+                        "as abandoned (default 3600)")
 
     s = sub.add_parser("serve",
                        help="run the resilient BLAS service (supervised "

@@ -29,23 +29,52 @@ touched.
 from __future__ import annotations
 
 import atexit
+import hashlib
 import json
 import os
 import shutil
 import tempfile
-import uuid
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-from ..obs import incr
+from ..obs import event, incr
+from . import fsio
 from .locks import NULL_LOCK, LockTimeout, cache_lock
 
 _DISABLED_VALUES = {"off", "none", "0", "disabled", "false"}
 
 #: meta.json schema version; bump to invalidate every existing entry.
-ENTRY_VERSION = 1
+#: v2 added the mandatory ``so_size``/``so_sha256`` integrity fields.
+ENTRY_VERSION = 2
+
+_SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+
+
+def parse_bytes(text: str) -> Optional[int]:
+    """``"512m"``/``"2g"``/``"1048576"`` -> bytes; ``None`` if malformed.
+
+    Malformed values degrade (no budget) rather than fail a build —
+    matching how ``REPRO_THREADS`` handles garbage.
+    """
+    text = (text or "").strip().lower()
+    if not text:
+        return None
+    scale = 1
+    if text[-1] in _SIZE_SUFFIXES:
+        scale = _SIZE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        value = int(float(text) * scale)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
+
+
+def cache_max_bytes() -> Optional[int]:
+    """The configured size budget (``REPRO_CACHE_MAX_BYTES``), if any."""
+    return parse_bytes(os.environ.get("REPRO_CACHE_MAX_BYTES", ""))
 
 
 @dataclass
@@ -62,6 +91,8 @@ class CacheStats:
     tuning_puts: int = 0     # tuning measurements persisted
     quarantine_hits: int = 0  # known-crashing candidates skipped
     quarantine_puts: int = 0  # candidates newly quarantined
+    io_errors: int = 0       # OSErrors absorbed by store maintenance
+    gc_evictions: int = 0    # healthy entries evicted by the quota GC
     lock_timeouts: int = 0   # cache-lock waits that gave up (wrote unlocked)
     toolchain_invocations: int = 0
     toolchain_retries: int = 0  # transient-failure retry attempts
@@ -84,6 +115,7 @@ class CacheStats:
             f"tuning hits={self.tuning_hits} puts={self.tuning_puts} "
             f"quarantine hits={self.quarantine_hits} "
             f"puts={self.quarantine_puts} "
+            f"io errors={self.io_errors} gc evictions={self.gc_evictions} "
             f"lock timeouts={self.lock_timeouts} "
             f"toolchain calls={self.toolchain_invocations} "
             f"retries={self.toolchain_retries} "
@@ -128,7 +160,27 @@ class KernelCache:
 
     @property
     def enabled(self) -> bool:
-        return self.root is not None
+        # a sick disk (ENOSPC/EIO on any durable write, anywhere in the
+        # process) demotes the whole store to in-memory-only operation
+        return self.root is not None and fsio.disk_degraded() is None
+
+    # -- error accounting --------------------------------------------------
+
+    def _io_error(self, exc: OSError, where: str) -> None:
+        """Count an absorbed maintenance OSError instead of hiding it."""
+        self.stats.io_errors += 1
+        incr("cache.io_error")
+        fsio.note_disk_error(exc, where)
+
+    def _rmtree(self, path: Path, where: str) -> None:
+        """``shutil.rmtree`` that counts failures rather than lying."""
+        try:
+            shutil.rmtree(path)
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            self._io_error(exc, where)
+            shutil.rmtree(path, ignore_errors=True)  # salvage what we can
 
     # -- paths ------------------------------------------------------------
 
@@ -164,6 +216,12 @@ class KernelCache:
             self.stats.lock_timeouts += 1
             incr("cache.lock_timeout")
             lock = NULL_LOCK
+        except OSError as exc:
+            # the lock *file* could not be created (disk full, store
+            # yanked): degrade to an unlocked write, never crash the
+            # mutation — and let a sick disk flip the health flag
+            self._io_error(exc, f"cache.lock.{name}")
+            lock = NULL_LOCK
         try:
             yield
         finally:
@@ -189,6 +247,12 @@ class KernelCache:
             size = so_path.stat().st_size
             if size != meta["so_size"] or size == 0:
                 raise ValueError("shared object truncated")
+            try:
+                # LRU stamp for the quota GC: a disk hit refreshes the
+                # entry's meta mtime, so eviction order tracks last use
+                os.utime(meta_path)
+            except OSError:
+                pass
             return so_path
         except (FileNotFoundError, NotADirectoryError):
             return None
@@ -210,27 +274,43 @@ class KernelCache:
         entry = self._entry_dir(key)
         try:
             so_src = workdir / so_name
+            so_bytes = so_src.read_bytes()
             record = dict(meta or {})
             record.update(version=ENTRY_VERSION, so=so_name,
-                          so_size=so_src.stat().st_size)
-            # write meta last inside the scratch dir, then one atomic rename
-            (workdir / "meta.json").write_text(json.dumps(record, indent=2))
+                          so_size=len(so_bytes),
+                          so_sha256=hashlib.sha256(so_bytes).hexdigest())
+            # make the object itself durable, then write meta last inside
+            # the scratch dir (fsynced), then one atomic rename below
+            fd = os.open(so_src, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            fsio.atomic_write_json(workdir / "meta.json", record,
+                                   tag="cache.meta")
             entry.parent.mkdir(parents=True, exist_ok=True)
-        except OSError:
+        except OSError as exc:
             # store unusable (permissions, bad $REPRO_CACHE_DIR, disk
             # full): the build in ``workdir`` is still valid, just never
             # becomes shared — degrade instead of failing the build
             self.stats.errors += 1
+            fsio.note_disk_error(exc, "cache.publish")
             return None
         try:
             with self._locked("publish"):
+                fsio.disk_checkpoint("cache.publish.rename")
                 workdir.rename(entry)
-        except OSError:
-            # a concurrent builder published first; use theirs
+                fsio.fsync_dir(entry.parent)
+                fsio.disk_checkpoint("cache.publish.done")
+        except OSError as exc:
+            # a concurrent builder published first (or the disk died
+            # mid-rename); use theirs if there is one
+            fsio.note_disk_error(exc, "cache.publish")
             shutil.rmtree(workdir, ignore_errors=True)
             return self.lookup_so(key)
         self.stats.puts += 1
         incr("cache.put")
+        self.maybe_gc()
         return entry / so_name
 
     def evict(self, key: str) -> None:
@@ -238,7 +318,7 @@ class KernelCache:
             return
         entry = self._entry_dir(key)
         if entry.exists():
-            shutil.rmtree(entry, ignore_errors=True)
+            self._rmtree(entry, "cache.evict")
             self.stats.evictions += 1
             incr("cache.eviction")
 
@@ -256,8 +336,8 @@ class KernelCache:
             try:
                 self._tuning_path(key).unlink()
                 self.stats.evictions += 1
-            except OSError:
-                pass
+            except OSError as exc:
+                self._io_error(exc, "cache.tuning.evict")
             return None
         self.stats.tuning_hits += 1
         incr("cache.tuning_hit")
@@ -270,9 +350,7 @@ class KernelCache:
         try:
             with self._locked("tuning"):
                 path.parent.mkdir(parents=True, exist_ok=True)
-                tmp = path.with_name(f".{path.name}.{uuid.uuid4().hex}.tmp")
-                tmp.write_text(json.dumps(record, indent=2))
-                os.replace(tmp, path)
+                fsio.atomic_write_json(path, record, tag="cache.tuning")
         except OSError:
             self.stats.errors += 1  # measurements are best-effort too
             return
@@ -298,8 +376,8 @@ class KernelCache:
             try:
                 self._quarantine_path(key).unlink()
                 self.stats.evictions += 1
-            except OSError:
-                pass
+            except OSError as exc:
+                self._io_error(exc, "cache.quarantine.evict")
             return None
         self.stats.quarantine_hits += 1
         incr("cache.quarantine_hit")
@@ -312,9 +390,7 @@ class KernelCache:
         try:
             with self._locked("quarantine"):
                 path.parent.mkdir(parents=True, exist_ok=True)
-                tmp = path.with_name(f".{path.name}.{uuid.uuid4().hex}.tmp")
-                tmp.write_text(json.dumps(record, indent=2))
-                os.replace(tmp, path)
+                fsio.atomic_write_json(path, record, tag="cache.quarantine")
         except OSError:
             self.stats.errors += 1  # quarantine is best-effort too
             return
@@ -332,36 +408,95 @@ class KernelCache:
         if objects.exists():
             for shard in objects.iterdir():
                 for entry in (shard.iterdir() if shard.is_dir() else ()):
-                    shutil.rmtree(entry, ignore_errors=True)
+                    self._rmtree(entry, "cache.clear")
                     removed += 1
-            shutil.rmtree(objects, ignore_errors=True)
+            self._rmtree(objects, "cache.clear")
         tuning = self.root / "tuning"
         if tuning.exists():
             removed += sum(1 for p in tuning.rglob("*.json"))
-            shutil.rmtree(tuning, ignore_errors=True)
+            self._rmtree(tuning, "cache.clear")
         quarantine = self.root / "quarantine"
         if quarantine.exists():
             removed += sum(1 for p in quarantine.rglob("*.json"))
-            shutil.rmtree(quarantine, ignore_errors=True)
+            self._rmtree(quarantine, "cache.clear")
         sessions = self.root / "sessions"
         if sessions.exists():
             removed += sum(1 for p in sessions.iterdir() if p.is_dir())
-            shutil.rmtree(sessions, ignore_errors=True)
-        shutil.rmtree(self.root / "tmp", ignore_errors=True)
-        shutil.rmtree(self.root / "locks", ignore_errors=True)
+            self._rmtree(sessions, "cache.clear")
+        self._rmtree(self.root / "tmp", "cache.clear")
+        self._rmtree(self.root / "locks", "cache.clear")
         stats_path = self.root / "stats.json"
-        if stats_path.exists():
+        try:
             stats_path.unlink()
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            self._io_error(exc, "cache.clear")
         self.stats.evictions += removed
         return removed
 
+    def gc(self, max_bytes: Optional[int] = None) -> Dict[str, Any]:
+        """Evict least-recently-used compiled entries down to a budget.
+
+        LRU order comes from each entry's ``meta.json`` mtime, refreshed
+        on every disk hit by :meth:`lookup_so`.  Only ``objects/``
+        entries are eligible: quarantine records are *never* evicted (a
+        known-crashing candidate must stay known), and tuning records /
+        sessions have their own lifecycles.  Returns a report dict.
+        """
+        budget = cache_max_bytes() if max_bytes is None else max_bytes
+        report: Dict[str, Any] = {
+            "budget_bytes": budget, "before_bytes": 0, "after_bytes": 0,
+            "evicted": 0, "kept": 0,
+        }
+        if not self.enabled or budget is None or not self.root.exists():
+            return report
+        entries: List[Tuple[float, int, str]] = []  # (atime, bytes, key)
+        for meta in (self.root / "objects").glob("*/*/meta.json"):
+            entry = meta.parent
+            try:
+                stamp = meta.stat().st_mtime
+                size = sum(f.stat().st_size for f in entry.iterdir()
+                           if f.is_file())
+            except OSError:
+                stamp, size = 0.0, 0
+            entries.append((stamp, size, entry.name))
+        total = sum(size for _, size, _ in entries)
+        report["before_bytes"] = total
+        with self._locked("gc"):
+            for stamp, size, key in sorted(entries):
+                if total <= budget:
+                    break
+                self.evict(key)
+                self.stats.gc_evictions += 1
+                incr("cache.gc_eviction")
+                total -= size
+                report["evicted"] += 1
+        report["after_bytes"] = total
+        report["kept"] = len(entries) - report["evicted"]
+        if report["evicted"]:
+            event("cache.gc", evicted=report["evicted"],
+                  before=report["before_bytes"], after=total, budget=budget)
+        return report
+
+    def maybe_gc(self) -> None:
+        """Opportunistic quota enforcement after a publish (env budget)."""
+        if cache_max_bytes() is not None:
+            try:
+                self.gc()
+            except OSError as exc:
+                self._io_error(exc, "cache.gc")
+
     def inventory(self) -> Dict[str, Any]:
         """Store-wide entry counts and byte totals (for ``cache stats``)."""
+        budget = cache_max_bytes()
         info: Dict[str, Any] = {
             "root": str(self.root) if self.enabled else "(disabled)",
             "entries": 0, "bytes": 0, "tuning_records": 0, "quarantined": 0,
-            "sessions": 0,
+            "sessions": 0, "max_bytes": budget, "headroom_bytes": None,
         }
+        if budget is not None:
+            info["headroom_bytes"] = budget
         if not self.enabled or not self.root.exists():
             return info
         objects = self.root / "objects"
@@ -381,6 +516,8 @@ class KernelCache:
         if sessions.exists():
             info["sessions"] = sum(1 for p in sessions.iterdir()
                                    if p.is_dir())
+        if budget is not None:
+            info["headroom_bytes"] = budget - info["bytes"]
         return info
 
     # -- cumulative stats --------------------------------------------------
@@ -416,11 +553,12 @@ class KernelCache:
                 except (OSError, ValueError):
                     pass
                 merged.merge(live)
-                tmp = path.with_name(f".stats.{uuid.uuid4().hex}.tmp")
-                tmp.write_text(json.dumps(asdict(merged), indent=2))
-                os.replace(tmp, path)
-        except OSError:
-            pass  # stats are best-effort; never fail the build over them
+                fsio.atomic_write_json(path, asdict(merged),
+                                       tag="cache.stats")
+        except OSError as exc:
+            # stats are best-effort; never fail the build over them —
+            # but a swallowed failure is still counted and surfaced
+            self._io_error(exc, "cache.stats")
 
 
 _CACHE: Optional[KernelCache] = None

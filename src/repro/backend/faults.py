@@ -40,15 +40,32 @@ A plan is a list of specs, each ``kind@match[:count]``:
     corruption is *persistent* — the tile's retry corrupts again,
     forcing the reference-recompute path; ``corrupt@#0:1`` models a
     transient bit-flip the retry heals
+    ``diskfull`` — the matching durable write fails with
+    ``OSError(ENOSPC)`` (exercises the in-memory-only degradation in
+    :mod:`repro.backend.fsio`: the process keeps serving with the
+    persistent cache off instead of failing user calls)
+    ``torn`` — the matching durable write lands truncated to half its
+    bytes (models a torn write surfaced after a crash; exercises
+    ``cache scrub`` and the self-healing lookup paths)
+    ``bitrot`` — one bit of the matching durable write's payload is
+    flipped before it lands (models media decay; exercises the digest
+    verification in ``cache scrub``)
+    ``kill`` — the process SIGKILLs itself at the matching durable-write
+    checkpoint (the kill-during-publish torture harness: the store must
+    afterwards read as entry-absent or entry-fully-valid, never partial)
 
 ``match``
     ``#N`` fires at candidate index ``N`` (asm- and interrupt-stage
     faults), request index ``N`` (serve-stage faults, counted per
-    worker process), or macro-tile index ``N`` (thread-stage faults,
-    counted per GEMM call); any other string fires when it is a
+    worker process), macro-tile index ``N`` (thread-stage faults,
+    counted per GEMM call), or durable-write checkpoint ``N``
+    (disk-stage faults, counted per process in
+    :mod:`repro.backend.fsio`); any other string fires when it is a
     substring of the stage tag (the kernel symbol name for asm/
     interrupt faults, the source tag for toolchain faults, the routine
-    family for serve faults, ``gemm``/``gemm_shuf`` for thread faults).
+    family for serve faults, ``gemm``/``gemm_shuf`` for thread faults,
+    the write-site tag like ``cache.meta``/``journal.append`` for disk
+    faults).
 
 ``count``
     optional; the fault fires at most this many times, then disarms
@@ -77,8 +94,10 @@ INTERRUPT_KINDS = frozenset({"interrupt"})
 SERVE_KINDS = frozenset({"serve_crash", "serve_stall", "serve_reject"})
 #: kinds realized inside a GEMM worker thread (parallel-driver failures)
 THREAD_KINDS = frozenset({"worker_die", "corrupt"})
+#: kinds realized at durable-write checkpoints (disk-state torture)
+DISK_KINDS = frozenset({"diskfull", "torn", "bitrot", "kill"})
 ALL_KINDS = (ASM_KINDS | TOOLCHAIN_KINDS | INTERRUPT_KINDS | SERVE_KINDS
-             | THREAD_KINDS)
+             | THREAD_KINDS | DISK_KINDS)
 
 
 class FaultPlanError(ValueError):
@@ -107,6 +126,8 @@ class FaultSpec:
             return "serve"
         if self.kind in THREAD_KINDS:
             return "thread"
+        if self.kind in DISK_KINDS:
+            return "disk"
         return "asm"
 
     def matches(self, tag: str, index: Optional[int]) -> bool:

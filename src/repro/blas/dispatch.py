@@ -44,6 +44,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..backend import fsio
 from ..backend.cache import get_cache
 from ..backend.compiler import ToolchainError
 from ..backend.faults import inject_asm_fault, take_fault
@@ -230,13 +231,14 @@ def save_tier_verdicts(path: Union[str, Path]) -> int:
     if not verdicts:
         return 0
     path = Path(path)
+    if fsio.disk_degraded() is not None:
+        return 0  # in-memory-only mode: verdicts stay memoized in-process
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps({"version": VERDICT_STORE_VERSION,
-                                   "toolchain": _toolchain_fingerprint(),
-                                   "verdicts": verdicts}, indent=2))
-        os.replace(tmp, path)
+        fsio.atomic_write_json(path, {"version": VERDICT_STORE_VERSION,
+                                      "toolchain": _toolchain_fingerprint(),
+                                      "verdicts": verdicts},
+                               tag="dispatch.verdicts")
     except OSError:
         return 0
     return len(verdicts)

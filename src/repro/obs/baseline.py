@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..backend import fsio
 from ..backend.runner import load_kernel
 from ..backend.timer import measure
 from ..core.framework import Augem
@@ -158,11 +159,10 @@ def record_baseline(path: Path = DEFAULT_PATH, kernels=DEFAULT_KERNELS,
         record["threads"] = threads
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    # pid-suffixed tempname: two concurrent recorders must never write
-    # (and then publish) through the same intermediate file
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(json.dumps(record, indent=2) + "\n")
-    os.replace(tmp, path)
+    # durable publish (pid-suffixed tmp + replace + fsync): concurrent
+    # recorders never collide and a crash never leaves a torn baseline
+    fsio.atomic_write_text(path, json.dumps(record, indent=2) + "\n",
+                           tag="baseline")
     return record
 
 

@@ -22,6 +22,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from ..backend import fsio
 from .protocol import ERR_QUOTA
 
 #: defaults, overridable per-worker via ServeConfig
@@ -150,8 +151,6 @@ class QuotaBook:
         path = Path(path)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-            tmp.write_text(json.dumps(record, indent=2))
-            os.replace(tmp, path)
+            fsio.atomic_write_json(path, record, tag="serve.accounting")
         except OSError:
             pass  # accounting is best-effort; never block the drain

@@ -46,6 +46,7 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..backend import fsio
 from ..backend.cache import cache_root
 from ..backend.faults import take_fault
 from ..blas import dispatch
@@ -614,6 +615,7 @@ class ServeWorker:
             "clients": self.quotas.snapshot(),
             "probes_run": dispatch.probes_executed(),
             "verdicts_preloaded": self.verdicts_preloaded,
+            "disk_degraded": fsio.disk_degraded(),
             "routines": routines,
             "calls": self._call_index,
             "gemm_threads": self.config.gemm_threads,

@@ -33,6 +33,8 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from ..backend import fsio
+
 from ..obs import event, incr
 from .protocol import PROTOCOL_VERSION, recv_frame, send_frame
 from .server import ServeConfig
@@ -62,9 +64,7 @@ def _write_state(runtime_dir: Path, **fields: Any) -> None:
     path = state_path(runtime_dir)
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(fields, indent=2))
-        os.replace(tmp, path)
+        fsio.atomic_write_json(path, fields, tag="serve.state")
     except OSError:
         pass
 
@@ -356,6 +356,9 @@ def status(config: ServeConfig) -> int:
           f"{totals.get('rejected_quota', 0)}")
     print(f"dispatch    : probes_run {ws.get('probes_run', 0)}, "
           f"verdicts_preloaded {ws.get('verdicts_preloaded', 0)}")
+    if ws.get("disk_degraded"):
+        print(f"disk        : DEGRADED ({ws['disk_degraded']}) — "
+              f"serving with in-memory caching only")
     integ = ws.get("integrity")
     if integ:
         print(f"integrity   : mode {integ.get('mode', 'off')}, "

@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..backend import fsio
 from ..backend.cache import cache_root
 from ..backend.locks import FileLock, LockTimeout, pid_alive
 from ..obs import event, incr
@@ -81,9 +82,7 @@ def search_key(kernel_key: str, arch_name: str, batches: int,
 
 
 def _atomic_write_json(path: Path, record: Dict[str, Any]) -> None:
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(json.dumps(record, indent=2))
-    os.replace(tmp, path)
+    fsio.atomic_write_json(path, record, tag="session.manifest")
 
 
 @dataclass
@@ -220,25 +219,40 @@ class TuningSession:
               trials_done=self.manifest.get("trials_done", 0))
 
     def _write_manifest(self) -> None:
+        if fsio.disk_degraded() is not None:
+            return  # in-memory-only mode: stop touching the disk
         try:
             self.path.mkdir(parents=True, exist_ok=True)
             _atomic_write_json(self.manifest_path, self.manifest)
         except OSError:
-            pass  # sessions are best-effort; never fail the search
+            incr("session.io_error")
+            # sessions are best-effort; never fail the search
 
     # -- the write-ahead journal -------------------------------------------
 
     def record_trial(self, record: TrialRecord) -> None:
         """Append one completed trial; durable before this returns."""
+        if fsio.disk_degraded() is not None:
+            return  # in-memory-only mode: the search continues unjournaled
         try:
+            kind = fsio.disk_checkpoint("journal.append")
             if self._journal_fh is None:
                 self._journal_fh = open(self.journal_path, "a",
                                         encoding="utf-8")
             line = json.dumps(record.to_json(), separators=(",", ":"))
+            if kind == "torn":
+                # injected torn append: half the line lands, no newline —
+                # exactly what a crash mid-write leaves behind
+                self._journal_fh.write(line[:max(1, len(line) // 2)])
+                self._journal_fh.flush()
+                os.fsync(self._journal_fh.fileno())
+                return
             self._journal_fh.write(line + "\n")
             self._journal_fh.flush()
             os.fsync(self._journal_fh.fileno())
-        except OSError:
+        except OSError as exc:
+            fsio.note_disk_error(exc, "journal.append")
+            incr("session.io_error")
             return  # degrade: the search continues, just less durable
         self.manifest["trials_done"] = \
             int(self.manifest.get("trials_done", 0)) + 1

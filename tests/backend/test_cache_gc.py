@@ -1,0 +1,174 @@
+"""Quota GC tests: LRU eviction order, access-stamp refresh, quarantine
+immunity, budget parsing, and the stats surfacing."""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.backend import fsio
+from repro.backend.cache import (cache_max_bytes, get_cache, parse_bytes,
+                                 reset_cache)
+from repro.backend.faults import clear_fault_plan
+
+KEYS = ["aa" * 12, "bb" * 12, "cc" * 12, "dd" * 12]
+
+
+@pytest.fixture
+def store(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+    reset_cache()
+    fsio.reset_disk_health()
+    clear_fault_plan()
+    yield tmp_path / "store"
+    reset_cache()
+    fsio.reset_disk_health()
+    clear_fault_plan()
+
+
+def publish_fake(cache, key, size=1024):
+    work = cache._scratch()
+    (work / "k.so").write_bytes(bytes.fromhex(key[:2]) * size)
+    path = cache.publish_so(key, work, "k.so", meta={"tag": "gc"})
+    assert path is not None
+    return path
+
+
+def _stamp(store, key, age):
+    """Backdate an entry's LRU stamp (meta.json mtime) by ``age`` secs."""
+    meta = store / "objects" / key[:2] / key / "meta.json"
+    past = time.time() - age
+    os.utime(meta, (past, past))
+
+
+def test_parse_bytes_suffixes():
+    assert parse_bytes("1048576") == 1 << 20
+    assert parse_bytes("512k") == 512 << 10
+    assert parse_bytes("2m") == 2 << 20
+    assert parse_bytes("1G") == 1 << 30
+    assert parse_bytes("0.5g") == 1 << 29
+    assert parse_bytes("1t") == 1 << 40
+    assert parse_bytes("") is None
+    assert parse_bytes("lots") is None
+    assert parse_bytes("-1") is None
+
+
+def test_cache_max_bytes_reads_env(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+    assert cache_max_bytes() is None
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "64m")
+    assert cache_max_bytes() == 64 << 20
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "garbage")
+    assert cache_max_bytes() is None  # malformed degrades, never raises
+
+
+def test_gc_evicts_least_recently_used_first(store):
+    cache = get_cache()
+    for i, key in enumerate(KEYS):
+        publish_fake(cache, key)
+        _stamp(store, key, age=1000 - i * 100)  # KEYS[0] is the coldest
+    # each entry is ~1k of .so plus its meta; a 2.5-entry budget keeps 2
+    report = cache.gc(max_bytes=2560)
+    assert report["evicted"] == 2 and report["kept"] == 2
+    assert cache.lookup_so(KEYS[0]) is None
+    assert cache.lookup_so(KEYS[1]) is None
+    assert cache.lookup_so(KEYS[2]) is not None
+    assert cache.lookup_so(KEYS[3]) is not None
+    assert report["after_bytes"] <= 2560 < report["before_bytes"]
+    assert cache.stats.gc_evictions == 2
+
+
+def test_lookup_refreshes_lru_stamp(store):
+    cache = get_cache()
+    for key in KEYS[:2]:
+        publish_fake(cache, key)
+        _stamp(store, key, age=1000)
+    # a disk hit promotes KEYS[0] to most-recently-used...
+    assert cache.lookup_so(KEYS[0]) is not None
+    report = cache.gc(max_bytes=1500)  # room for one entry
+    # ...so the GC evicts KEYS[1] instead
+    assert report["evicted"] == 1
+    assert cache.lookup_so(KEYS[0]) is not None
+    assert cache.lookup_so(KEYS[1]) is None
+
+
+def test_gc_never_touches_quarantine_or_tuning(store):
+    cache = get_cache()
+    publish_fake(cache, KEYS[0])
+    cache.store_tuning("ee" * 12, {"gflops": 2.0})
+    cache.store_quarantine("ff" * 12, {"category": "segv"})
+    report = cache.gc(max_bytes=0)  # evict every compiled entry
+    assert report["evicted"] == 1 and report["after_bytes"] == 0
+    assert cache.lookup_so(KEYS[0]) is None
+    # a known-crashing candidate must stay known, measurements stay kept
+    assert cache.load_quarantine("ff" * 12) is not None
+    assert cache.load_tuning("ee" * 12) is not None
+
+
+def test_gc_without_budget_is_a_no_op(store):
+    cache = get_cache()
+    publish_fake(cache, KEYS[0])
+    report = cache.gc()  # no arg, no env
+    assert report["budget_bytes"] is None and report["evicted"] == 0
+    assert cache.lookup_so(KEYS[0]) is not None
+
+
+def test_env_budget_enforced_after_publish(store, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "3k")
+    cache = get_cache()
+    for key in KEYS:
+        publish_fake(cache, key)  # publish_so runs maybe_gc() itself
+    info = cache.inventory()
+    assert info["bytes"] <= 3 << 10
+    assert 0 < info["entries"] < len(KEYS)
+    assert cache.stats.gc_evictions >= 1
+
+
+def test_inventory_reports_budget_headroom(store, monkeypatch):
+    cache = get_cache()
+    publish_fake(cache, KEYS[0])
+    info = cache.inventory()
+    assert info["max_bytes"] is None and info["headroom_bytes"] is None
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "1m")
+    info = cache.inventory()
+    assert info["max_bytes"] == 1 << 20
+    assert info["headroom_bytes"] == (1 << 20) - info["bytes"]
+    assert info["bytes"] > 0 and info["entries"] == 1
+
+
+def test_evict_failure_is_counted_not_swallowed(store, monkeypatch):
+    """Satellite of the durability work: maintenance OSErrors used to be
+    silently dropped; now every one lands in ``cache.io_error``."""
+    import errno
+
+    from repro.backend import cache as cache_module
+
+    cache = get_cache()
+    publish_fake(cache, KEYS[0])
+
+    def denied(path, ignore_errors=False, **kwargs):
+        if not ignore_errors:
+            raise OSError(errno.EACCES, "permission denied")
+
+    monkeypatch.setattr(cache_module.shutil, "rmtree", denied)
+    cache.evict(KEYS[0])
+    assert cache.stats.io_errors == 1
+    assert "io errors=1" in cache.stats.describe()
+    # EACCES is a per-path problem: the disk itself is not degraded
+    assert cache.enabled
+
+
+def test_gc_cli(store, capsys):
+    from repro.__main__ import main
+
+    cache = get_cache()
+    for key in KEYS[:2]:
+        publish_fake(cache, key)
+        _stamp(store, key, age=500)
+    assert main(["cache", "gc", "--max-bytes", "1500"]) == 0
+    out = capsys.readouterr().out
+    assert "evicted 1" in out
+    # without any budget the command refuses rather than guessing
+    assert main(["cache", "gc"]) == 2

@@ -1,0 +1,222 @@
+"""Durable-write helper tests: atomicity, fsync publish, disk faults,
+and process-wide disk-health degradation."""
+
+import errno
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.backend import fsio
+from repro.backend.cache import get_cache, reset_cache
+from repro.backend.faults import (FaultPlan, clear_fault_plan,
+                                  install_fault_plan)
+
+
+@pytest.fixture(autouse=True)
+def clean_disk_state():
+    """Every test starts healthy and unarmed, and leaves no fault plan."""
+    fsio.reset_disk_health()
+    clear_fault_plan()
+    yield
+    fsio.reset_disk_health()
+    clear_fault_plan()
+
+
+def _arm(spec: str) -> None:
+    install_fault_plan(FaultPlan.parse(spec))
+
+
+# ---------------------------------------------------------------------------
+# atomic_write_*
+# ---------------------------------------------------------------------------
+
+
+def test_atomic_write_roundtrip(tmp_path):
+    path = tmp_path / "out.json"
+    fsio.atomic_write_json(path, {"a": 1}, tag="t")
+    assert json.loads(path.read_text()) == {"a": 1}
+    fsio.atomic_write_text(path, "replaced", tag="t")
+    assert path.read_text() == "replaced"
+    fsio.atomic_write_bytes(path, b"\x00\x01", tag="t")
+    assert path.read_bytes() == b"\x00\x01"
+    # no temp debris left behind by successful publishes
+    assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+
+def test_atomic_write_failure_leaves_no_file(tmp_path):
+    target = tmp_path / "missing-dir" / "out.json"
+    with pytest.raises(OSError):
+        fsio.atomic_write_json(target, {"a": 1}, tag="t")
+    assert not target.exists()
+    # ENOENT is a per-path problem, not a sick disk
+    assert fsio.disk_degraded() is None
+
+
+def test_atomic_write_replaces_not_appends(tmp_path):
+    path = tmp_path / "out.txt"
+    fsio.atomic_write_text(path, "x" * 4096, tag="t")
+    fsio.atomic_write_text(path, "short", tag="t")
+    assert path.read_text() == "short"
+
+
+# ---------------------------------------------------------------------------
+# injected disk faults
+# ---------------------------------------------------------------------------
+
+
+def test_diskfull_fault_raises_enospc_and_degrades(tmp_path, capsys):
+    _arm("diskfull@#0")
+    with pytest.raises(OSError) as excinfo:
+        fsio.atomic_write_text(tmp_path / "f", "data", tag="cache.meta")
+    assert excinfo.value.errno == errno.ENOSPC
+    assert not (tmp_path / "f").exists()
+    assert fsio.disk_degraded() is not None
+    assert "ENOSPC" in fsio.disk_degraded()
+    # the demotion is logged exactly once
+    assert "disk degraded" in capsys.readouterr().err
+    fsio.note_disk_error(OSError(errno.ENOSPC, "again"), "elsewhere")
+    assert capsys.readouterr().err == ""
+
+
+def test_diskfull_fault_matches_by_tag(tmp_path):
+    _arm("diskfull@cache.meta")
+    # non-matching tag sails through
+    fsio.atomic_write_text(tmp_path / "ok", "data", tag="journal.append")
+    assert (tmp_path / "ok").read_text() == "data"
+    with pytest.raises(OSError):
+        fsio.atomic_write_text(tmp_path / "bad", "data", tag="cache.meta")
+
+
+def test_torn_fault_truncates_payload(tmp_path):
+    _arm("torn@#0:1")
+    payload = b"0123456789" * 10
+    fsio.atomic_write_bytes(tmp_path / "torn", payload, tag="t")
+    landed = (tmp_path / "torn").read_bytes()
+    assert landed == payload[:len(payload) // 2]
+    # the tear is in the payload, not the mechanism: next write is whole
+    fsio.atomic_write_bytes(tmp_path / "whole", payload, tag="t")
+    assert (tmp_path / "whole").read_bytes() == payload
+
+
+def test_bitrot_fault_flips_one_bit(tmp_path):
+    _arm("bitrot@#0:1")
+    payload = bytes(range(256))
+    fsio.atomic_write_bytes(tmp_path / "rot", payload, tag="t")
+    landed = (tmp_path / "rot").read_bytes()
+    assert len(landed) == len(payload)
+    diffs = [i for i, (a, b) in enumerate(zip(payload, landed)) if a != b]
+    assert len(diffs) == 1
+    assert landed[diffs[0]] == payload[diffs[0]] ^ 0x10
+
+
+def test_kill_fault_sigkills_at_checkpoint(tmp_path):
+    # run in a subprocess: the fault is a real SIGKILL
+    code = (
+        "from repro.backend import fsio\n"
+        "fsio.atomic_write_text(r'%s', 'data', tag='t')\n"
+        "print('SURVIVED')\n" % (tmp_path / "out")
+    )
+    env = dict(os.environ, REPRO_FAULT_INJECT="kill@#0",
+               PYTHONPATH=str(Path(__file__).resolve().parents[2] / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-c", code], env=env,
+        capture_output=True, text=True, timeout=60)
+    assert proc.returncode == -9
+    assert "SURVIVED" not in proc.stdout
+    assert not (tmp_path / "out").exists()
+
+
+# ---------------------------------------------------------------------------
+# disk-health degradation
+# ---------------------------------------------------------------------------
+
+
+def test_note_disk_error_degrades_only_on_sick_disk():
+    assert not fsio.note_disk_error(ValueError("nope"), "w")
+    assert not fsio.note_disk_error(OSError(errno.EACCES, "denied"), "w")
+    assert not fsio.note_disk_error(OSError(errno.ENOTDIR, "layout"), "w")
+    assert fsio.disk_degraded() is None
+    assert fsio.note_disk_error(OSError(errno.EIO, "dying media"), "meta")
+    assert fsio.disk_degraded() is not None
+    assert "EIO" in fsio.disk_degraded()
+
+
+def test_reset_disk_health_restores():
+    fsio.note_disk_error(OSError(errno.ENOSPC, "full"), "w")
+    assert fsio.disk_degraded() is not None
+    fsio.reset_disk_health()
+    assert fsio.disk_degraded() is None
+
+
+def test_degraded_disk_disables_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    reset_cache()
+    try:
+        cache = get_cache()
+        assert cache.enabled
+        fsio.note_disk_error(OSError(errno.ENOSPC, "full"), "w")
+        assert not cache.enabled
+        # every cache operation becomes a silent no-op, never a raise
+        assert cache.lookup_so("ab" * 12) is None
+        assert cache.publish_so("ab" * 12, tmp_path, "x.so") is None
+        cache.store_tuning("cd" * 12, {"gflops": 1.0})
+        assert cache.load_tuning("cd" * 12) is None
+        cache.flush_stats()
+        assert not (tmp_path / "store" / "stats.json").exists()
+    finally:
+        reset_cache()
+
+
+def test_publish_under_diskfull_degrades_not_raises(tmp_path, monkeypatch):
+    """The ISSUE acceptance path: ENOSPC mid-publish demotes to in-memory
+    operation; the caller's build is unharmed and no exception escapes."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    reset_cache()
+    try:
+        cache = get_cache()
+        work = cache._scratch()
+        (work / "k.so").write_bytes(b"\x7fELF fake payload")
+        _arm("diskfull@cache.meta")
+        assert cache.publish_so("ab" * 12, work, "k.so") is None
+        assert cache.stats.errors >= 1
+        assert fsio.disk_degraded() is not None
+        assert not cache.enabled
+        # and a second publish short-circuits cleanly
+        assert cache.publish_so("cd" * 12, work, "k.so") is None
+    finally:
+        reset_cache()
+
+
+def test_lock_file_enospc_degrades_to_unlocked_write(tmp_path, monkeypatch):
+    """A disk too full for even the lock file must not crash a store
+    mutation: the write proceeds unlocked and the health flag flips."""
+    from repro.backend import locks
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    reset_cache()
+    try:
+        cache = get_cache()
+
+        def no_space(self):
+            raise OSError(errno.ENOSPC, "no space for lock file")
+
+        monkeypatch.setattr(locks.FileLock, "acquire", no_space)
+        cache.store_tuning("ab" * 12, {"gflops": 1.0})  # must not raise
+        assert cache.stats.io_errors == 1
+        assert fsio.disk_degraded() is not None
+    finally:
+        reset_cache()
+
+
+def test_checkpoints_number_in_execution_order(tmp_path):
+    # one atomic write = 3 checkpoints (payload, replace, done):
+    # a plan armed at #3 skips the first write entirely
+    _arm("diskfull@#3")
+    fsio.atomic_write_text(tmp_path / "first", "ok", tag="t")
+    assert (tmp_path / "first").read_text() == "ok"
+    with pytest.raises(OSError):
+        fsio.atomic_write_text(tmp_path / "second", "boom", tag="t")

@@ -1,0 +1,189 @@
+"""Kill-during-publish torture harness.
+
+Each child process runs a fixed disk workload — 8 atomic cache publishes,
+a durable tuning session with journaled trials, a sealed accounting
+ledger — with ``REPRO_FAULT_INJECT=kill@#K`` armed, so it SIGKILLs itself
+at durable-write checkpoint ``K``.  The parent then audits the store the
+corpse left behind: every compiled entry must be absent or fully valid
+(size *and* digest), every session manifest absent or parseable, every
+journal replayable, the ledger absent or whole — never a partial
+artifact, never a crash in a reader.  ``cache scrub --repair`` must then
+remove the leftovers deterministically and leave a clean store.
+
+The workload issues 65 checkpoints (see ``_CHECKPOINTS``); the harness
+kills at 50 distinct randomized points across all three write sites,
+which is the ISSUE's acceptance floor.
+"""
+
+import hashlib
+import json
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.backend import fsio
+from repro.backend.cache import KernelCache
+from repro.backend.faults import clear_fault_plan
+from repro.backend.scrub import scrub_store
+from repro.tuning.session import TuningSession
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture(autouse=True)
+def healthy_parent():
+    """The parent process must audit with healthy disk state of its own."""
+    fsio.reset_disk_health()
+    clear_fault_plan()
+    yield
+    fsio.reset_disk_health()
+    clear_fault_plan()
+
+#: checkpoints the child workload issues: 8 publishes x 5 (meta payload,
+#: meta replace, meta done, rename, rename done) + manifest create (3)
+#: + 4 trials x (journal append + manifest rewrite (3)) + finish (3)
+#: + ledger seal (3)
+_CHECKPOINTS = 8 * 5 + 3 + 4 * 4 + 3 + 3  # = 65
+
+#: acceptance floor from the ISSUE: >= 50 randomized kill points
+_KILL_POINTS = sorted(random.Random(0x5EED).sample(range(_CHECKPOINTS), 50))
+
+_KEYS = [("%02x" % i) * 12 for i in range(8)]
+
+_CHILD = r"""
+import os
+from pathlib import Path
+
+from repro.backend.cache import get_cache
+from repro.serve.quotas import QuotaBook
+from repro.tuning.session import TrialRecord, TuningSession
+
+root = Path(os.environ["REPRO_CACHE_DIR"])
+cache = get_cache()
+for i in range(8):
+    work = cache._scratch()
+    (work / "k.so").write_bytes(bytes([i]) * 512)
+    cache.publish_so(("%02x" % i) * 12, work, "k.so", meta={"tag": "kill"})
+session = TuningSession.create(
+    root / "sessions", "axpy", "ab" * 12, "c", "generic_sse", 3,
+    ["c0", "c1"], "k" * 24)
+for i in range(4):
+    session.record_trial(TrialRecord(index=i, candidate="c0", gflops=1.0))
+session.finish("complete", winner="c0")
+book = QuotaBook()
+book.admit("cli:1", 64)
+book.release("cli:1", "ok")
+book.seal(root / "accounting.json")
+print("COMPLETE")
+"""
+
+
+def _spawn(store: Path, plan: str) -> subprocess.Popen:
+    env = dict(os.environ, REPRO_CACHE_DIR=str(store),
+               REPRO_FAULT_INJECT=plan, PYTHONPATH=str(SRC_DIR))
+    env.pop("REPRO_CACHE_MAX_BYTES", None)
+    return subprocess.Popen([sys.executable, "-c", _CHILD], env=env,
+                            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                            text=True)
+
+
+def _audit_store(store: Path) -> None:
+    """The absent-or-fully-valid contract, checked reader by reader."""
+    cache = KernelCache(store)
+    for key in _KEYS:
+        so_path = cache.lookup_so(key)
+        if so_path is None:
+            continue
+        meta = json.loads((so_path.parent / "meta.json").read_text())
+        so_bytes = so_path.read_bytes()
+        assert len(so_bytes) == meta["so_size"]
+        assert hashlib.sha256(so_bytes).hexdigest() == meta["so_sha256"]
+    # a kill can only make an entry absent, never partially served
+    assert cache.stats.errors == 0 and cache.stats.evictions == 0
+    sessions = store / "sessions"
+    for sdir in sessions.iterdir() if sessions.exists() else ():
+        session = TuningSession.open(sdir)
+        if session is not None:  # manifest is atomic: absent or whole
+            for record in session.journal_entries():
+                assert record.candidate in ("c0", "c1")
+    ledger = store / "accounting.json"
+    if ledger.exists():
+        assert json.loads(ledger.read_text())["totals"]["admitted"] == 1
+
+
+def _scrub_to_clean(store: Path) -> dict:
+    """Scrub twice (determinism), repair, and prove the store clean."""
+    cache = KernelCache(store)
+    first = scrub_store(cache, tmp_age=0.0)
+    second = scrub_store(cache, tmp_age=0.0)
+    assert first == second
+    # the only tolerated leftovers are publish scratch and a session dir
+    # whose manifest never landed — compiled entries may never be flagged
+    for problem in first["problems"]:
+        assert problem["kind"] in ("stray", "session"), problem
+    scrub_store(cache, repair=True, tmp_age=0.0)
+    final = scrub_store(cache, tmp_age=0.0)
+    assert final["ok"] and final["corrupt"] == 0
+    return first
+
+
+def test_child_workload_completes_unfaulted(tmp_path):
+    """Sanity: with no fault armed the workload runs to the end and its
+    checkpoint count matches the harness's kill-point universe."""
+    store = tmp_path / "store"
+    proc = _spawn(store, "")
+    out, err = proc.communicate(timeout=120)
+    assert proc.returncode == 0, err
+    assert "COMPLETE" in out
+    cache = KernelCache(store)
+    assert all(cache.lookup_so(key) is not None for key in _KEYS)
+    verdict = scrub_store(cache, tmp_age=0.0)
+    assert verdict["ok"] and verdict["corrupt"] == 0
+    # kill@#<last> must still fire inside the workload, or the harness
+    # is under-counting checkpoints and missing coverage at the tail
+    store2 = tmp_path / "tail"
+    proc = _spawn(store2, "kill@#%d" % (_CHECKPOINTS - 1))
+    proc.communicate(timeout=120)
+    assert proc.returncode == -9
+
+
+@pytest.mark.parametrize("batch", range(5))
+def test_kill_during_publish_store_stays_valid(tmp_path, batch):
+    """50 randomized SIGKILL points across publish/journal/ledger writes:
+    the store must always read absent-or-fully-valid, and scrub --repair
+    must remove the leftovers deterministically."""
+    points = _KILL_POINTS[batch * 10:(batch + 1) * 10]
+    procs = [(k, _spawn(tmp_path / ("store-%02d" % k), "kill@#%d" % k))
+             for k in points]
+    for k, proc in procs:
+        _, err = proc.communicate(timeout=120)
+        assert proc.returncode == -9, (k, err)
+    for k, _ in procs:
+        store = tmp_path / ("store-%02d" % k)
+        _audit_store(store)
+        _scrub_to_clean(store)
+
+
+def test_kill_at_rename_boundary_is_deterministic(tmp_path):
+    """The two edges of the publish rename, pinned by tag match: a kill
+    armed *before* the rename loses the entry, one armed *after* keeps
+    a fully valid entry — and scrub repairs either corpse the same way."""
+    before = tmp_path / "before"
+    proc = _spawn(before, "kill@cache.publish.rename:1")
+    proc.communicate(timeout=120)
+    assert proc.returncode == -9
+    assert KernelCache(before).lookup_so(_KEYS[0]) is None
+    leftovers = _scrub_to_clean(before)
+    assert any(p["kind"] == "stray" for p in leftovers["problems"])
+
+    after = tmp_path / "after"
+    proc = _spawn(after, "kill@cache.publish.done:1")
+    proc.communicate(timeout=120)
+    assert proc.returncode == -9
+    assert KernelCache(after).lookup_so(_KEYS[0]) is not None
+    _audit_store(after)
+    _scrub_to_clean(after)

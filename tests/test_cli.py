@@ -112,6 +112,43 @@ def test_cache_stats_smoke_real_invocation():
     assert "cache root" in proc.stdout
 
 
+def test_cache_stats_reports_budget_and_disk_health(capsys, tmp_path,
+                                                    monkeypatch):
+    from repro.backend import fsio
+    from repro.backend.cache import reset_cache
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "1m")
+    reset_cache()
+    fsio.reset_disk_health()
+    try:
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "bytes on disk" in out
+        assert "size budget:      1048576 bytes (headroom 1048576)" in out
+        assert "disk health:      ok" in out
+        assert "io errors=0" in out
+    finally:
+        reset_cache()
+        fsio.reset_disk_health()
+
+
+def test_cache_scrub_and_gc_on_disabled_store(capsys, monkeypatch):
+    from repro.backend.cache import reset_cache
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+    reset_cache()
+    try:
+        assert main(["cache", "scrub"]) == 0
+        assert "store is clean" in capsys.readouterr().out
+        assert main(["cache", "gc", "--max-bytes", "1m"]) == 0
+        assert "evicted 0" in capsys.readouterr().out
+        # gc with no budget anywhere is a usage error, not a guess
+        assert main(["cache", "gc"]) == 2
+    finally:
+        reset_cache()
+
+
 def test_dispatch_show_lists_chain(capsys):
     from repro.blas.dispatch import reset_dispatch_state
 
